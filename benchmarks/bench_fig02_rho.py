@@ -1,0 +1,34 @@
+"""Figure 2 — the privacy-cost function rho(x) and its bound rho_top(x).
+
+Regenerates the x-sweep of Equation (5) against the Lemma 3.1 closed form,
+checking the bound holds at every sampled point (the figure's content).
+"""
+
+import numpy as np
+
+from repro.core import rho, rho_top
+from repro.experiments import SweepResult, format_float
+
+from conftest import emit
+
+
+def _rho_curves() -> SweepResult:
+    lam, theta = 1.0, 0.0
+    xs = np.linspace(theta - 4.0, theta + 12.0, 17)
+    result = SweepResult(
+        title="Figure 2 — rho(x) vs rho_top(x)  (lambda=1, theta=0)",
+        row_label="x",
+        rows=[float(x) for x in xs],
+        columns=[],
+    )
+    rho_vals = [rho(float(x), lam, theta) for x in xs]
+    top_vals = [rho_top(float(x), lam, theta) for x in xs]
+    result.add_column("rho", rho_vals)
+    result.add_column("rho_top", top_vals)
+    assert all(r <= t + 1e-12 for r, t in zip(rho_vals, top_vals))
+    return result
+
+
+def bench_fig02_rho(benchmark):
+    result = benchmark.pedantic(_rho_curves, rounds=1, iterations=1)
+    emit(result, format_float, "fig02_rho.txt")

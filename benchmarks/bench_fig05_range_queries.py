@@ -1,0 +1,37 @@
+"""Figure 5 — range-count relative error on the four spatial datasets.
+
+Twelve panels: {road, Gowalla, NYC, Beijing} x {small, medium, large}
+query bands, each sweeping epsilon over the paper's six values for every
+applicable method (PrivTree, UG, AG, Hierarchy, DAWA, Privelet).
+"""
+
+import pytest
+
+from repro.experiments import format_percent, run_range_query_experiment
+
+from conftest import sweep_params, dataset_n, emit
+
+PANELS = [
+    (name, band)
+    for name in ("road", "gowalla", "nyc", "beijing")
+    for band in ("small", "medium", "large")
+]
+
+
+@pytest.mark.parametrize("dataset,band", PANELS, ids=[f"{d}-{b}" for d, b in PANELS])
+def bench_fig05_range_queries(benchmark, dataset, band):
+    params = sweep_params()
+
+    def run():
+        return run_range_query_experiment(
+            dataset,
+            band,
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            n_queries=params["n_queries"],
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_percent, "fig05_range_queries.txt")

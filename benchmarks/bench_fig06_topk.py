@@ -1,0 +1,33 @@
+"""Figure 6 — top-k frequent-string mining precision.
+
+Six panels: {mooc, msnbc} x k in {50, 100, 200}, comparing Truncate,
+PrivTree, N-gram and EM over the epsilon sweep.
+"""
+
+import pytest
+
+from repro.experiments import format_float, run_topk_experiment
+
+from conftest import sweep_params, dataset_n, emit
+
+PANELS = [
+    (name, k) for name in ("mooc", "msnbc") for k in (50, 100, 200)
+]
+
+
+@pytest.mark.parametrize("dataset,k", PANELS, ids=[f"{d}-top{k}" for d, k in PANELS])
+def bench_fig06_topk(benchmark, dataset, k):
+    params = sweep_params()
+
+    def run():
+        return run_topk_experiment(
+            dataset,
+            k=k,
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_float, "fig06_topk.txt")

@@ -1,0 +1,30 @@
+"""Figure 7 — total variation distance of sequence-length distributions.
+
+Two panels (mooc, msnbc): each model generates synthetic data whose length
+distribution is compared to the original's; Truncate is the no-privacy
+reference affected only by the l_top cut.
+"""
+
+import pytest
+
+from repro.experiments import format_float, run_length_distribution_experiment
+
+from conftest import FULL, sweep_params, dataset_n, emit
+
+
+@pytest.mark.parametrize("dataset", ["mooc", "msnbc"])
+def bench_fig07_length_dist(benchmark, dataset):
+    params = sweep_params()
+
+    def run():
+        return run_length_distribution_experiment(
+            dataset,
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            n_synthetic=5_000 if FULL else 1_500,
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_float, "fig07_length_dist.txt")

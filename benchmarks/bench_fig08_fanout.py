@@ -1,0 +1,30 @@
+"""Figure 8 — impact of the fanout beta on PrivTree.
+
+One panel per dataset (medium queries): PrivTree run with beta = 2^d and
+the smaller round-robin fanouts the paper ablates.
+"""
+
+import pytest
+
+from repro.experiments import format_percent, run_fanout_ablation
+
+from conftest import sweep_params, dataset_n, emit
+
+
+@pytest.mark.parametrize("dataset", ["road", "gowalla", "nyc", "beijing"])
+def bench_fig08_fanout(benchmark, dataset):
+    params = sweep_params()
+
+    def run():
+        return run_fanout_ablation(
+            dataset,
+            "medium",
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            n_queries=params["n_queries"],
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_percent, "fig08_fanout.txt")

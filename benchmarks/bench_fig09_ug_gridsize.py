@@ -1,0 +1,30 @@
+"""Figure 9 — impact of the grid-size factor r on UG.
+
+One panel per dataset (medium queries): UG with its total cell count
+scaled by r in {1/9, 1/3, 1, 3, 9}; r = 1 is the published guideline.
+"""
+
+import pytest
+
+from repro.experiments import format_percent, run_ug_gridsize_ablation
+
+from conftest import sweep_params, dataset_n, emit
+
+
+@pytest.mark.parametrize("dataset", ["road", "gowalla", "nyc", "beijing"])
+def bench_fig09_ug_gridsize(benchmark, dataset):
+    params = sweep_params()
+
+    def run():
+        return run_ug_gridsize_ablation(
+            dataset,
+            "medium",
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            n_queries=params["n_queries"],
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_percent, "fig09_ug_gridsize.txt")

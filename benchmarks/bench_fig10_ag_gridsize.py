@@ -1,0 +1,29 @@
+"""Figure 10 — impact of the grid-size factor r on AG (2-d datasets).
+
+road and Gowalla panels (medium queries): both AG grids scaled by r.
+"""
+
+import pytest
+
+from repro.experiments import format_percent, run_ag_gridsize_ablation
+
+from conftest import sweep_params, dataset_n, emit
+
+
+@pytest.mark.parametrize("dataset", ["road", "gowalla"])
+def bench_fig10_ag_gridsize(benchmark, dataset):
+    params = sweep_params()
+
+    def run():
+        return run_ag_gridsize_ablation(
+            dataset,
+            "medium",
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            n_queries=params["n_queries"],
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_percent, "fig10_ag_gridsize.txt")

@@ -1,0 +1,30 @@
+"""Figure 11 — impact of the tree height h on Hierarchy (2-d datasets).
+
+road and Gowalla panels (medium queries): heights 3..8 at a fixed
+128x128 leaf grid; h = 3 is the published heuristic.
+"""
+
+import pytest
+
+from repro.experiments import format_percent, run_hierarchy_height_ablation
+
+from conftest import sweep_params, dataset_n, emit
+
+
+@pytest.mark.parametrize("dataset", ["road", "gowalla"])
+def bench_fig11_hierarchy_height(benchmark, dataset):
+    params = sweep_params()
+
+    def run():
+        return run_hierarchy_height_ablation(
+            dataset,
+            "medium",
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            n_queries=params["n_queries"],
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_percent, "fig11_hierarchy_height.txt")

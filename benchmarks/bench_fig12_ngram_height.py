@@ -1,0 +1,29 @@
+"""Figure 12 — impact of the tree height h on N-gram.
+
+mooc and msnbc panels (top-100 precision): n_max in {3..7}; n_max = 5 is
+the published recommendation.
+"""
+
+import pytest
+
+from repro.experiments import format_float, run_ngram_height_ablation
+
+from conftest import sweep_params, dataset_n, emit
+
+
+@pytest.mark.parametrize("dataset", ["mooc", "msnbc"])
+def bench_fig12_ngram_height(benchmark, dataset):
+    params = sweep_params()
+
+    def run():
+        return run_ngram_height_ablation(
+            dataset,
+            k=100,
+            epsilons=params["epsilons"],
+            n_reps=params["n_reps"],
+            dataset_n=dataset_n(dataset),
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_float, "fig12_ngram_height.txt")

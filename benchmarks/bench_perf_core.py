@@ -1,0 +1,59 @@
+"""Performance micro-benchmarks of the library's hot paths.
+
+Not a paper artifact — these guard the implementation itself: PrivTree
+construction throughput, range-count traversal latency, PST construction,
+and the DAWA partition DP.  pytest-benchmark runs them repeatedly (unlike
+the figure benches, which execute once), so regressions show up in the
+timing table.
+"""
+
+import numpy as np
+
+from repro.baselines import dawa_histogram, private_partition
+from repro.datasets import gowallalike, msnbclike
+from repro.domains import Box
+from repro.sequence import private_pst
+from repro.spatial import generate_workload, privtree_histogram
+
+
+def bench_perf_privtree_build_20k(benchmark):
+    data = gowallalike(20_000, rng=0)
+    benchmark(lambda: privtree_histogram(data, epsilon=1.0, rng=0))
+
+
+def bench_perf_range_count(benchmark):
+    data = gowallalike(20_000, rng=0)
+    synopsis = privtree_histogram(data, epsilon=1.0, rng=0)
+    queries = generate_workload(data.domain, "medium", 50, rng=1)
+
+    def run() -> float:
+        return sum(synopsis.range_count(q) for q in queries)
+
+    benchmark(run)
+
+
+def bench_perf_private_pst_build(benchmark):
+    data = msnbclike(10_000, rng=0)
+    benchmark(lambda: private_pst(data, epsilon=1.0, l_top=20, rng=0))
+
+
+def bench_perf_pst_sampling(benchmark):
+    data = msnbclike(10_000, rng=0)
+    pst = private_pst(data, epsilon=1.0, l_top=20, rng=0)
+    benchmark(lambda: pst.sample_dataset(200, rng=1, max_length=20))
+
+
+def bench_perf_dawa_partition(benchmark):
+    cells = np.random.default_rng(0).poisson(2.0, size=16_384).astype(float)
+    benchmark(lambda: private_partition(cells, epsilon=0.25, rng=0))
+
+
+def bench_perf_dawa_full(benchmark):
+    data = gowallalike(20_000, rng=0)
+    benchmark(lambda: dawa_histogram(data, epsilon=1.0, rng=0))
+
+
+def bench_perf_exact_count(benchmark):
+    data = gowallalike(50_000, rng=0)
+    query = Box((0.2, 0.2), (0.7, 0.7))
+    benchmark(lambda: data.count_in(query))

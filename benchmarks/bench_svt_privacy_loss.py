@@ -1,0 +1,45 @@
+"""Section 5 / Appendix A — SVT privacy-loss counterexamples.
+
+Sweeps the query count k and reports the exact privacy loss of the binary
+and vanilla SVTs at the claimed noise scale (lambda = 2/epsilon, epsilon=1),
+next to the bound the improved SVT actually guarantees.  The reproduced
+content of Lemma 5.1 / the Claim 2 refutation: losses grow linearly in k,
+blowing past the claimed 2*epsilon.
+"""
+
+from repro.experiments import SweepResult, format_float
+from repro.svt import (
+    binary_svt_log_ratio,
+    improved_svt_log_ratio_bound,
+    vanilla_svt_log_ratio,
+)
+
+from conftest import emit
+
+
+def _loss_sweep() -> SweepResult:
+    lam = 2.0  # the scale Claim 1 / Claim 2 assert suffices for epsilon = 1
+    ks = [2, 4, 8, 16, 32, 64]
+    result = SweepResult(
+        title="SVT privacy loss at the claimed scale (lambda=2, i.e. eps=1)",
+        row_label="k",
+        rows=[float(k) for k in ks],
+        columns=[],
+    )
+    binary = [binary_svt_log_ratio(k, lam) for k in ks]
+    vanilla = [vanilla_svt_log_ratio(k, lam) for k in ks]
+    result.add_column("BinarySVT", binary)
+    result.add_column("VanillaSVT", vanilla)
+    result.add_column("claimed 2*eps", [2.0] * len(ks))
+    result.add_column(
+        "ImprovedSVT bound", [improved_svt_log_ratio_bound(lam)] * len(ks)
+    )
+    # The reproduced negative result: losses exceed the claim for large k.
+    assert binary[-1] > 2.0
+    assert vanilla[-1] > 2.0
+    return result
+
+
+def bench_svt_privacy_loss(benchmark):
+    result = benchmark.pedantic(_loss_sweep, rounds=1, iterations=1)
+    emit(result, format_float, "svt_privacy_loss.txt")

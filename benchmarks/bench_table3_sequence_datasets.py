@@ -1,0 +1,34 @@
+"""Table 3 — characteristics of the sequence datasets.
+
+Cardinality, alphabet size, average length, l_top and the number of
+sequences the truncation rule affects, paper vs bench-scale substitute.
+"""
+
+from repro.datasets import SEQUENCE_DATASETS
+
+from conftest import RESULTS_DIR, dataset_n
+
+
+def _table() -> str:
+    lines = [
+        "Table 3 — sequence datasets (paper scale vs bench-scale substitute)",
+        f"{'name':8s} {'|I|':>4s} {'paper n':>9s} {'bench n':>8s} "
+        f"{'paper avg':>9s} {'bench avg':>9s} {'l_top':>5s} {'#>l_top':>8s}",
+    ]
+    for name, spec in SEQUENCE_DATASETS.items():
+        data = spec.make(dataset_n(name), rng=0)
+        lines.append(
+            f"{name:8s} {spec.dimensionality:4d} {spec.paper_cardinality:9,d} "
+            f"{data.n:8,d} {spec.paper_average_length:9.2f} "
+            f"{data.average_length:9.2f} {spec.l_top:5d} "
+            f"{data.n_longer_than(spec.l_top):8,d}"
+        )
+        assert data.alphabet.size == spec.dimensionality
+    return "\n".join(lines)
+
+
+def bench_table3_sequence_datasets(benchmark):
+    table = benchmark.pedantic(_table, rounds=1, iterations=1)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table3_sequence_datasets.txt").write_text(table + "\n")

@@ -1,0 +1,34 @@
+"""Table 4 — PrivTree running time on all six datasets across epsilon.
+
+Absolute numbers are Python-on-synthetic-data; the table's shape (time
+grows with epsilon and with dataset size) is the reproduced content.
+"""
+
+from repro.experiments import format_seconds, run_privtree_timing
+
+from conftest import FULL, dataset_n, emit
+
+
+def bench_table4_runtime(benchmark):
+    names = ["road", "gowalla", "nyc", "beijing", "mooc", "msnbc"]
+
+    def run():
+        # Per-dataset cardinality differs; run one dataset at a time and
+        # merge the columns so each uses its own bench-scale size.
+        merged = None
+        for name in names:
+            res = run_privtree_timing(
+                dataset_names=[name],
+                n_reps=3 if FULL else 1,
+                dataset_n=dataset_n(name),
+                rng=0,
+            )
+            if merged is None:
+                merged = res
+                merged.title = "Table 4 — PrivTree running time (seconds)"
+            else:
+                merged.add_column(name, res.values[name])
+        return merged
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result, format_seconds, "table4_runtime.txt")

@@ -1,0 +1,68 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper: it runs
+the corresponding experiment (timed once under pytest-benchmark) and writes
+the paper-style series to ``benchmarks/results/<name>.txt`` (also echoed to
+stdout, visible with ``pytest -s``).
+
+Two scales are supported:
+
+* default — laptop-light: one repetition per cell, scaled-down datasets;
+  the whole suite runs in a few minutes.
+* ``REPRO_BENCH_FULL=1`` — closer to the paper: registry-default dataset
+  sizes and multiple repetitions (slower, smoother curves).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+import pytest
+
+from repro.experiments import PAPER_EPSILONS, SweepResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Per-dataset cardinalities for the light bench scale.
+LIGHT_SPATIAL_N = {"road": 60_000, "gowalla": 30_000, "nyc": 20_000, "beijing": 10_000}
+LIGHT_SEQUENCE_N = {"mooc": 8_000, "msnbc": 15_000}
+
+
+def sweep_params() -> dict:
+    """Common sweep parameters at the chosen scale."""
+    if FULL:
+        return {"epsilons": PAPER_EPSILONS, "n_reps": 5, "n_queries": 200}
+    return {"epsilons": PAPER_EPSILONS, "n_reps": 1, "n_queries": 80}
+
+
+def dataset_n(name: str) -> int | None:
+    """Bench-scale cardinality for a registered dataset (None = default)."""
+    if FULL:
+        return None
+    return LIGHT_SPATIAL_N.get(name) or LIGHT_SEQUENCE_N.get(name)
+
+
+def emit(result: SweepResult, fmt: Callable[[float], str], filename: str) -> None:
+    """Print a sweep table and persist it under ``benchmarks/results/``."""
+    table = result.to_table(fmt)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    existing = path.read_text() if path.exists() else ""
+    if result.title in existing:
+        return
+    with path.open("a") as handle:
+        handle.write(table + "\n\n")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _fresh_results_dir():
+    """Start each bench session with a clean results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for stale in RESULTS_DIR.glob("*.txt"):
+        stale.unlink()
+    yield

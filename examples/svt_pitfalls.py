@@ -1,0 +1,53 @@
+"""Why PrivTree instead of an SVT? Reproducing the Section 5 negative results.
+
+Prior work claimed the "binary" and "vanilla" sparse vector techniques are
+ε-DP with noise scale 2/ε, independent of the number of queries — which
+would make them ideal for hierarchical decompositions.  The paper refutes
+both claims (Lemma 5.1 and Appendix A).  This example computes the actual
+privacy loss of the published counterexamples by numeric integration and
+contrasts it with the improved SVT's real guarantee and PrivTree's.
+
+Run:  python examples/svt_pitfalls.py
+"""
+
+from repro.core import lambda_for_epsilon
+from repro.svt import (
+    binary_svt_log_ratio,
+    improved_svt_log_ratio_bound,
+    vanilla_svt_log_ratio,
+)
+
+
+def main() -> None:
+    epsilon = 1.0
+    lam = 2.0 / epsilon  # the noise scale the refuted claims prescribe
+    print(f"claimed guarantee: eps = {epsilon}, so privacy loss <= {2 * epsilon}")
+    print(f"noise scale under the claim: lambda = {lam}\n")
+
+    print(f"{'k':>4s} {'BinarySVT':>10s} {'VanillaSVT':>11s}   verdict")
+    for k in (2, 4, 8, 16, 32, 64):
+        binary = binary_svt_log_ratio(k, lam)
+        vanilla = vanilla_svt_log_ratio(k, lam)
+        broken = "VIOLATES claim" if max(binary, vanilla) > 2 * epsilon else "ok so far"
+        print(f"{k:4d} {binary:10.3f} {vanilla:11.3f}   {broken}")
+
+    print(
+        "\nThe loss grows linearly with the number of queries k: the claimed\n"
+        "constant-noise guarantee is false, so an SVT-built quadtree would\n"
+        "need noise proportional to its node count."
+    )
+    print(
+        f"\nImprovedSVT (Algorithm 6) genuinely guarantees loss <= "
+        f"{improved_svt_log_ratio_bound(lam):.2f} at this scale, but only by\n"
+        "capping the number of positive answers t — and the right t for a\n"
+        "decomposition is unknowable in advance."
+    )
+    print(
+        f"\nPrivTree needs lambda = {lambda_for_epsilon(epsilon, fanout=4):.3f} "
+        f"for eps={epsilon} on a quadtree (Corollary 1):\n"
+        "constant noise, no height limit, no t to guess — the paper's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""User-level privacy: one person, many points (§3.5's multi-leaf extension).
+
+Event-level DP protects single *points*; if each person contributes up to
+``x`` check-ins, protecting the person requires scaling the noise by ``x``.
+PrivTree supports this with one argument.  This example builds synopses of
+a check-in-style dataset at event level and at user level, and shows the
+accuracy cost of the stronger guarantee.
+
+Run:  python examples/user_level_privacy.py
+"""
+
+import numpy as np
+
+from repro.datasets import gowallalike
+from repro.spatial import (
+    average_relative_error,
+    generate_workload,
+    privtree_histogram,
+)
+
+
+def main() -> None:
+    checkins_per_user = 10
+    data = gowallalike(40_000, rng=0)
+    print(
+        f"dataset: {data.n} check-ins; assume up to {checkins_per_user} "
+        "check-ins per user"
+    )
+
+    queries = generate_workload(data.domain, "medium", 80, rng=1)
+    print(f"\n{'epsilon':>8s} {'event-level':>12s} {'user-level':>11s}   (avg relative error)")
+    for eps in (0.4, 1.6, 6.4):
+        event = np.mean(
+            [
+                average_relative_error(
+                    privtree_histogram(data, eps, rng=s).range_count, data, queries
+                )
+                for s in range(3)
+            ]
+        )
+        user = np.mean(
+            [
+                average_relative_error(
+                    privtree_histogram(
+                        data, eps, tuples_per_individual=checkins_per_user, rng=s
+                    ).range_count,
+                    data,
+                    queries,
+                )
+                for s in range(3)
+            ]
+        )
+        print(f"{eps:8.1f} {event:12.2%} {user:11.2%}")
+
+    print(
+        "\nUser-level protection costs roughly the x-fold noise increase the "
+        "paper's §3.5 analysis predicts;\nspend a correspondingly larger "
+        "budget to recover event-level accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

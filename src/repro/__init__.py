@@ -1,0 +1,63 @@
+"""repro — a reproduction of PrivTree (Zhang, Xiao, Xie; SIGMOD 2016).
+
+Differentially private hierarchical decompositions without a pre-defined
+recursion-depth limit, applied to spatial histograms and Markov models over
+sequence data, together with the baselines and experiments of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import SpatialDataset, privtree_histogram
+    from repro.domains import Box
+
+    points = np.random.default_rng(0).normal(0.5, 0.1, size=(10_000, 2))
+    data = SpatialDataset(points.clip(0, 0.999), Box.unit(2), name="demo")
+    synopsis = privtree_histogram(data, epsilon=1.0, rng=0)
+    print(synopsis.range_count(Box((0.4, 0.4), (0.6, 0.6))))
+"""
+
+from .core import (
+    DecompositionTree,
+    PrivTreeParams,
+    TreeNode,
+    privtree,
+    simpletree,
+)
+from .mechanisms import PrivacyAccountant, ensure_rng
+from .sequence import (
+    Alphabet,
+    PredictionSuffixTree,
+    SequenceDataset,
+    private_pst,
+)
+from .spatial import (
+    HistogramTree,
+    SpatialDataset,
+    average_relative_error,
+    generate_workload,
+    privtree_histogram,
+    simpletree_histogram,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "DecompositionTree",
+    "HistogramTree",
+    "PredictionSuffixTree",
+    "PrivTreeParams",
+    "PrivacyAccountant",
+    "SequenceDataset",
+    "SpatialDataset",
+    "TreeNode",
+    "average_relative_error",
+    "ensure_rng",
+    "generate_workload",
+    "private_pst",
+    "privtree",
+    "privtree_histogram",
+    "simpletree",
+    "simpletree_histogram",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Downstream applications built on the released synopses (Section 1)."""
+
+from .kmeans import dplloyd_kmeans, kmeans_cost, privtree_kmeans
+
+__all__ = ["dplloyd_kmeans", "kmeans_cost", "privtree_kmeans"]

@@ -1,0 +1,50 @@
+"""Baseline methods the paper compares against.
+
+Spatial: UG, AG, Hierarchy, DAWA-lite, Privelet (Section 6.1); sequence:
+N-gram and EM (Section 6.2) live in ``ngram`` / ``em_topk`` and are
+re-exported here once the sequence substrate is loaded.
+"""
+
+from .ag import AdaptiveGrid, ag_histogram
+from .em_topk import em_top_k
+from .ngram import NGramModel, count_grams, ngram_model
+from .dawa import DawaHistogram, dawa_histogram, private_partition
+from .grid import UniformGrid
+from .hierarchy import HierarchyHistogram, hierarchy_histogram, split_branchings
+from .kdtree import kdtree_histogram
+from .linearize import hilbert_order_2d, linear_order, morton_order
+from .privelet import (
+    PriveletHistogram,
+    haar_forward,
+    haar_inverse,
+    haar_weights,
+    privelet_histogram,
+)
+from .ug import ug_cells_per_dim, ug_histogram
+
+__all__ = [
+    "AdaptiveGrid",
+    "DawaHistogram",
+    "HierarchyHistogram",
+    "NGramModel",
+    "PriveletHistogram",
+    "UniformGrid",
+    "ag_histogram",
+    "count_grams",
+    "dawa_histogram",
+    "em_top_k",
+    "haar_forward",
+    "haar_inverse",
+    "haar_weights",
+    "hierarchy_histogram",
+    "hilbert_order_2d",
+    "kdtree_histogram",
+    "linear_order",
+    "morton_order",
+    "ngram_model",
+    "privelet_histogram",
+    "private_partition",
+    "split_branchings",
+    "ug_cells_per_dim",
+    "ug_histogram",
+]

@@ -1,0 +1,185 @@
+"""DAWA-lite — a data-aware two-stage histogram (after Li et al., PVLDB'14).
+
+DAWA's idea: spend part of the budget finding a partition of the
+(linearized) domain into buckets that are internally near-uniform, then
+spend the rest releasing one noisy total per bucket.  On skewed data this
+beats flat grids because large empty regions collapse into single buckets.
+
+This implementation is a faithful *simulation*, with two documented
+substitutions (see DESIGN.md):
+
+* bucket deviation cost uses the L2 deviation (computable from prefix sums
+  in O(1)) instead of DAWA's L1 deviation — same role: penalize
+  non-uniform buckets;
+* stage 2 releases plain Laplace bucket totals instead of the
+  workload-aware matrix mechanism, keeping our DAWA query-independent.
+
+Stage 1 runs a dynamic program over buckets of power-of-two lengths whose
+costs are perturbed with Laplace noise (budget ``rho * eps``); stage 2
+releases bucket totals with the remaining budget and spreads them uniformly
+over the member cells.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..domains.box import Box
+from ..mechanisms.rng import RngLike, ensure_rng
+from ..spatial.dataset import SpatialDataset
+from .grid import UniformGrid
+from .linearize import linear_order
+
+__all__ = ["DawaHistogram", "dawa_histogram", "private_partition"]
+
+#: Share of the budget spent on the private partitioning stage.
+DAWA_RHO = 0.25
+#: Effective sensitivity used to scale the partition-cost noise.  Moving one
+#: point changes one cell count by one, which changes the L2 deviation of any
+#: containing interval by at most ~2x+1 ≈ 2 for unit changes; we follow
+#: DAWA's use of a small constant.
+COST_SENSITIVITY = 2.0
+
+
+def _interval_cost(prefix1: np.ndarray, prefix2: np.ndarray, i: int, j: int) -> float:
+    """L2 deviation of cells ``[i, j)`` from their mean, via prefix sums."""
+    total = prefix1[j] - prefix1[i]
+    sq = prefix2[j] - prefix2[i]
+    return float(sq - total * total / (j - i))
+
+
+def private_partition(
+    cells: np.ndarray,
+    epsilon: float,
+    rng: RngLike = None,
+    bucket_penalty: float | None = None,
+) -> list[int]:
+    """Stage 1: split a 1-d cell sequence into near-uniform buckets.
+
+    Candidate buckets are the *aligned* power-of-two intervals (start
+    divisible by the length) — the hierarchical approximation real DAWA
+    uses to keep the candidate set small.  A cell belongs to exactly one
+    candidate per length class, so releasing every candidate's deviation
+    cost has joint L1 sensitivity ``COST_SENSITIVITY * (log2 n + 1)``;
+    each noisy cost carries Laplace noise of that scale over ``epsilon``.
+    Noisy deviations are clamped at zero (deviations are non-negative, and
+    the projection stops the DP's min from farming negative noise draws).
+
+    ``bucket_penalty`` (default: the stage-2 per-bucket noise standard
+    deviation) discourages needless buckets.  Returns the sorted bucket
+    boundaries, starting with 0 and ending with ``len(cells)``.
+    """
+    if not epsilon > 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+    x = np.asarray(cells, dtype=float)
+    n = x.size
+    if n == 0:
+        raise ValueError("cells must be non-empty")
+    gen = ensure_rng(rng)
+    if bucket_penalty is None:
+        bucket_penalty = math.sqrt(2.0) / epsilon
+
+    prefix1 = np.concatenate([[0.0], np.cumsum(x)])
+    prefix2 = np.concatenate([[0.0], np.cumsum(x * x)])
+
+    max_exp = int(math.floor(math.log2(n)))
+    lengths = [2**a for a in range(max_exp + 1)]
+    noise_scale = COST_SENSITIVITY * (max_exp + 1) / epsilon
+
+    # Noisy costs for the aligned candidates, vectorized per length class.
+    # noisy_cost[length][i] is the cost of the bucket starting at i*length.
+    noisy_cost: dict[int, np.ndarray] = {}
+    for length in lengths:
+        starts = np.arange(0, n - length + 1, length)
+        ends = starts + length
+        totals = prefix1[ends] - prefix1[starts]
+        squares = prefix2[ends] - prefix2[starts]
+        dev = squares - totals * totals / length
+        noisy_dev = np.maximum(
+            dev + gen.laplace(0.0, noise_scale, size=dev.shape), 0.0
+        )
+        noisy_cost[length] = noisy_dev + bucket_penalty
+
+    best = np.full(n + 1, np.inf)
+    best[0] = 0.0
+    choice = np.zeros(n + 1, dtype=np.int64)
+    for j in range(1, n + 1):
+        for length in lengths:
+            if length > j or j % length:
+                break
+            cand = best[j - length] + noisy_cost[length][(j - length) // length]
+            if cand < best[j]:
+                best[j] = cand
+                choice[j] = length
+    boundaries = [n]
+    j = n
+    while j > 0:
+        j -= int(choice[j])
+        boundaries.append(j)
+    boundaries.reverse()
+    return boundaries
+
+
+@dataclass
+class DawaHistogram:
+    """The released DAWA synopsis: a grid of per-cell estimates."""
+
+    grid: UniformGrid
+    boundaries: list[int]
+
+    def range_count(self, query: Box) -> float:
+        """Answer from the cell-level estimates (uniform within buckets)."""
+        return self.grid.range_count(query)
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of buckets stage 1 chose."""
+        return len(self.boundaries) - 1
+
+
+def dawa_histogram(
+    dataset: SpatialDataset,
+    epsilon: float,
+    cells_per_dim: int | None = None,
+    rho: float = DAWA_RHO,
+    rng: RngLike = None,
+) -> DawaHistogram:
+    """Build the DAWA-lite synopsis of a spatial dataset.
+
+    The domain is discretized to ``cells_per_dim**d`` cells (power of two
+    per dimension; default 128 for 2-d, 8 for higher dimensions, echoing the
+    paper's 2^20-cell discretization at laptop scale), linearized
+    (Hilbert/Morton), partitioned privately, and released bucket-by-bucket.
+    """
+    if not 0 < rho < 1:
+        raise ValueError(f"rho must be in (0, 1), got {rho!r}")
+    gen = ensure_rng(rng)
+    d = dataset.ndim
+    if cells_per_dim is None:
+        cells_per_dim = 128 if d == 2 else 8
+    if cells_per_dim & (cells_per_dim - 1):
+        raise ValueError(f"cells_per_dim must be a power of two, got {cells_per_dim}")
+
+    exact = UniformGrid.histogram(dataset, (cells_per_dim,) * d)
+    order = linear_order(cells_per_dim, d)
+    line = exact.counts.ravel()[order]
+
+    eps1 = rho * epsilon
+    eps2 = (1.0 - rho) * epsilon
+    boundaries = private_partition(line, eps1, rng=gen, bucket_penalty=math.sqrt(2.0) / eps2)
+
+    estimates = np.empty_like(line)
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        total = float(line[lo:hi].sum()) + gen.laplace(0.0, 1.0 / eps2)
+        estimates[lo:hi] = total / (hi - lo)
+
+    cell_estimates = np.empty_like(estimates)
+    cell_estimates[order] = estimates
+    grid = UniformGrid(
+        domain=dataset.domain,
+        counts=cell_estimates.reshape(exact.counts.shape),
+    )
+    return DawaHistogram(grid=grid, boundaries=boundaries)

@@ -1,0 +1,86 @@
+"""Locality-preserving linearizations of grid cells.
+
+DAWA operates on one-dimensional sequences; multi-dimensional grids are
+flattened first.  We provide the Hilbert curve for two dimensions (best
+locality) and the Morton / Z-order curve for any dimensionality (used for
+the 4-d datasets, where a Hilbert implementation buys little over Z-order).
+Both require power-of-two grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hilbert_order_2d", "morton_order", "linear_order"]
+
+
+def _is_power_of_two(m: int) -> bool:
+    return m >= 1 and (m & (m - 1)) == 0
+
+
+def hilbert_index_2d(order: int, x: int, y: int) -> int:
+    """Hilbert-curve index of cell ``(x, y)`` on a ``2^order`` square grid."""
+    rx = ry = 0
+    d = 0
+    s = 1 << (order - 1)
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s //= 2
+    return d
+
+
+def hilbert_order_2d(m: int) -> np.ndarray:
+    """Flat cell indices of an ``m x m`` grid in Hilbert-curve order.
+
+    Returns an array ``order`` of length ``m*m`` such that
+    ``grid.ravel()[order]`` lists the cells along the curve.
+    """
+    if not _is_power_of_two(m):
+        raise ValueError(f"grid side must be a power of two, got {m!r}")
+    bits = m.bit_length() - 1
+    if bits == 0:
+        return np.zeros(1, dtype=np.int64)
+    xs, ys = np.meshgrid(np.arange(m), np.arange(m), indexing="ij")
+    flat = np.empty(m * m, dtype=np.int64)
+    for x, y in zip(xs.ravel(), ys.ravel()):
+        flat[hilbert_index_2d(bits, int(x), int(y))] = x * m + y
+    return flat
+
+
+def morton_order(m: int, ndim: int) -> np.ndarray:
+    """Flat cell indices of an ``m^ndim`` grid in Morton (Z-order).
+
+    Bits of the per-axis coordinates are interleaved, so nearby cells along
+    the curve are nearby in space (weaker than Hilbert but dimension-free).
+    """
+    if not _is_power_of_two(m):
+        raise ValueError(f"grid side must be a power of two, got {m!r}")
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1, got {ndim!r}")
+    bits = m.bit_length() - 1
+    coords = np.indices((m,) * ndim).reshape(ndim, -1)
+    codes = np.zeros(coords.shape[1], dtype=np.int64)
+    for bit in range(bits):
+        for axis in range(ndim):
+            codes |= ((coords[axis] >> bit) & 1).astype(np.int64) << (
+                bit * ndim + (ndim - 1 - axis)
+            )
+    flat_index = np.ravel_multi_index(tuple(coords), (m,) * ndim)
+    order = np.empty(m**ndim, dtype=np.int64)
+    order[codes] = flat_index
+    return order
+
+
+def linear_order(m: int, ndim: int) -> np.ndarray:
+    """Hilbert order for 2-d grids, Morton order otherwise."""
+    if ndim == 2:
+        return hilbert_order_2d(m)
+    return morton_order(m, ndim)

@@ -1,0 +1,210 @@
+"""N-gram — variable-length n-gram release (after Chen, Acs, Castelluccia;
+CCS 2012), the paper's main sequence-data competitor.
+
+An exploration tree over grams (strings over ``I ∪ {&}``) up to length
+``n_max``: level ``i`` holds grams of length ``i``, and a gram's children are
+explored only when its noisy count clears a threshold.  In the spirit of
+Algorithm 1 the construction needs the pre-defined height ``n_max`` (the
+Figure 12 ablation knob) and pays noise proportional to it: each level gets
+budget ``ε / n_max`` and one inserted sequence can change the level's gram
+counts by ``l⊤`` in L1, so per-level noise is ``Lap(n_max * l⊤ / ε)``.
+
+Released counts support string-frequency estimation (exact gram counts up to
+``n_max``, Markov chaining beyond) and synthetic-sequence sampling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mechanisms.rng import RngLike, ensure_rng
+from ..sequence.alphabet import Alphabet
+from ..sequence.dataset import SequenceDataset, TokenStore
+
+__all__ = ["NGramModel", "count_grams", "ngram_model"]
+
+
+def count_grams(store: TokenStore, n_max: int) -> dict[tuple[int, ...], int]:
+    """Exact occurrence counts of every gram up to length ``n_max``.
+
+    Grams run over symbols plus ``&`` (``&`` may only terminate a gram);
+    the start sentinel is not part of any gram.  Building the full table
+    once lets experiments sweep ε without recounting.
+    """
+    counts: dict[tuple[int, ...], int] = {}
+    end_code = store.alphabet.end_code
+    for idx in range(store.n):
+        body = store.sequence_tokens(idx)[1:]  # drop $
+        body_tuple = tuple(int(c) for c in body)
+        n = len(body_tuple)
+        for pos in range(n):
+            limit = min(n_max, n - pos)
+            for length in range(1, limit + 1):
+                gram = body_tuple[pos : pos + length]
+                if end_code in gram[:-1]:
+                    break  # & can only terminate a gram
+                counts[gram] = counts.get(gram, 0) + 1
+    return counts
+
+
+@dataclass
+class NGramModel:
+    """The released n-gram synopsis: noisy counts per retained gram."""
+
+    alphabet: Alphabet
+    n_max: int
+    l_top: int
+    #: Noisy counts of retained grams (length 1 .. n_max), clamped >= 0.
+    counts: dict[tuple[int, ...], float]
+
+    def unigram_total(self) -> float:
+        """Total mass at level 1 (used to normalize distributions)."""
+        return sum(v for gram, v in self.counts.items() if len(gram) == 1)
+
+    def _conditional(self, context: tuple[int, ...], code: int) -> float:
+        """``P(code | context)`` via the longest recorded context."""
+        for start in range(len(context) + 1):
+            suffix = context[start:]
+            if len(suffix) >= self.n_max:
+                continue
+            denom = self.counts.get(suffix)
+            if suffix and (denom is None or denom <= 0):
+                continue
+            numer = self.counts.get(suffix + (code,), 0.0)
+            if suffix:
+                if denom and denom > 0:
+                    return min(1.0, max(0.0, numer / denom))
+            else:
+                total = self.unigram_total()
+                if total > 0:
+                    return max(0.0, numer) / total
+        return 0.0
+
+    def string_frequency(self, codes: tuple[int, ...] | list[int]) -> float:
+        """Estimated occurrence count of a string of plain symbols."""
+        gram = tuple(int(c) for c in codes)
+        if not gram:
+            raise ValueError("query string must be non-empty")
+        if len(gram) <= self.n_max and gram in self.counts:
+            return max(0.0, self.counts[gram])
+        if len(gram) == 1:
+            return 0.0  # unigram absent from the release
+        head, tail = gram[:-1], gram[-1]
+        base = self.string_frequency(head)
+        if base <= 0:
+            return 0.0
+        return base * self._conditional(head[-(self.n_max - 1) :], tail)
+
+    def top_k_strings(self, k: int, max_length: int = 12) -> list[tuple[int, ...]]:
+        """Best-first top-k by estimated frequency (symbols only)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k!r}")
+        counter = 0
+        heap: list[tuple[float, int, tuple[int, ...]]] = []
+        for code in range(self.alphabet.size):
+            est = self.string_frequency((code,))
+            heap.append((-est, counter, (code,)))
+            counter += 1
+        heapq.heapify(heap)
+        out: list[tuple[int, ...]] = []
+        while heap and len(out) < k:
+            neg_est, _, gram = heapq.heappop(heap)
+            out.append(gram)
+            if len(gram) < max_length and -neg_est > 0:
+                for code in range(self.alphabet.size):
+                    ext = gram + (code,)
+                    est = self.string_frequency(ext)
+                    if est > 0:
+                        heapq.heappush(heap, (-est, counter, ext))
+                        counter += 1
+        return out
+
+    def sample_sequence(
+        self, rng: RngLike = None, max_length: int | None = None
+    ) -> np.ndarray:
+        """Sample one synthetic sequence from the Markov model."""
+        gen = ensure_rng(rng)
+        if max_length is None:
+            max_length = self.l_top
+        end = self.alphabet.end_code
+        symbols: list[int] = []
+        for _ in range(max_length):
+            context = tuple(symbols[-(self.n_max - 1) :]) if self.n_max > 1 else ()
+            probs = np.array(
+                [self._conditional(context, code) for code in range(end + 1)]
+            )
+            total = probs.sum()
+            if total <= 0:
+                break
+            probs = probs / total
+            code = int(gen.choice(len(probs), p=probs))
+            if code == end:
+                break
+            symbols.append(code)
+        return np.asarray(symbols, dtype=np.int64)
+
+    def sample_dataset(
+        self, n: int, rng: RngLike = None, max_length: int | None = None
+    ) -> list[np.ndarray]:
+        """Sample ``n`` synthetic sequences."""
+        gen = ensure_rng(rng)
+        return [self.sample_sequence(gen, max_length) for _ in range(n)]
+
+
+def ngram_model(
+    dataset: SequenceDataset,
+    epsilon: float,
+    l_top: int,
+    n_max: int = 5,
+    rng: RngLike = None,
+    gram_counts: dict[tuple[int, ...], int] | None = None,
+) -> NGramModel:
+    """Build the private n-gram model.
+
+    Level budgets are ``ε / n_max``; a level's gram-count vector has
+    sensitivity ``l⊤`` (one sequence adds at most ``l⊤`` gram occurrences
+    per level), so retained counts carry ``Lap(n_max * l⊤ / ε)`` noise.  A
+    gram's children are explored when its noisy count exceeds one standard
+    deviation of that noise — the pruning heuristic of the original method.
+
+    ``gram_counts`` (from :func:`count_grams` at ``n_max`` or larger) can be
+    supplied to amortize the exact counting across an ε sweep.
+    """
+    if not epsilon > 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+    if n_max < 1:
+        raise ValueError(f"n_max must be >= 1, got {n_max!r}")
+    gen = ensure_rng(rng)
+    if gram_counts is None:
+        gram_counts = count_grams(dataset.truncate(l_top), n_max)
+    scale = n_max * l_top / epsilon
+    threshold = math.sqrt(2.0) * scale
+
+    released: dict[tuple[int, ...], float] = {}
+    frontier: list[tuple[int, ...]] = [()]
+    alphabet = dataset.alphabet
+    for length in range(1, n_max + 1):
+        if not frontier:
+            break
+        next_frontier: list[tuple[int, ...]] = []
+        candidates = [
+            parent + (code,)
+            for parent in frontier
+            for code in list(range(alphabet.size)) + [alphabet.end_code]
+            if not (parent and parent[-1] == alphabet.end_code)
+        ]
+        for gram in candidates:
+            noisy = gram_counts.get(gram, 0) + gen.laplace(0.0, scale)
+            if noisy <= threshold:
+                continue
+            released[gram] = noisy
+            if gram[-1] != alphabet.end_code and length < n_max:
+                next_frontier.append(gram)
+        frontier = next_frontier
+    return NGramModel(
+        alphabet=dataset.alphabet, n_max=n_max, l_top=l_top, counts=released
+    )

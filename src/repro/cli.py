@@ -1,0 +1,159 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro figure5 --dataset road --band medium --reps 3
+    python -m repro figure6 --dataset msnbc --k 100
+    python -m repro figure7 --dataset mooc
+    python -m repro table4
+    python -m repro svt
+    python -m repro datasets
+
+Each command prints the corresponding paper-style table; ``--n`` scales the
+synthetic dataset, ``--epsilons`` overrides the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .experiments import (
+    format_float,
+    format_percent,
+    format_seconds,
+    run_length_distribution_experiment,
+    run_privtree_timing,
+    run_range_query_experiment,
+    run_topk_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of the PrivTree paper (SIGMOD 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=None, help="dataset cardinality")
+        p.add_argument("--reps", type=int, default=1, help="repetitions per cell")
+        p.add_argument("--seed", type=int, default=0, help="experiment seed")
+        p.add_argument(
+            "--epsilons",
+            type=float,
+            nargs="+",
+            default=None,
+            help="privacy budgets to sweep",
+        )
+
+    fig5 = sub.add_parser("figure5", help="range-count relative error")
+    fig5.add_argument("--dataset", default="road", choices=["road", "gowalla", "nyc", "beijing"])
+    fig5.add_argument("--band", default="medium", choices=["small", "medium", "large"])
+    fig5.add_argument("--queries", type=int, default=100)
+    common(fig5)
+
+    fig6 = sub.add_parser("figure6", help="top-k frequent-string precision")
+    fig6.add_argument("--dataset", default="msnbc", choices=["mooc", "msnbc"])
+    fig6.add_argument("--k", type=int, default=100)
+    common(fig6)
+
+    fig7 = sub.add_parser("figure7", help="sequence-length distribution TVD")
+    fig7.add_argument("--dataset", default="msnbc", choices=["mooc", "msnbc"])
+    fig7.add_argument("--synthetic", type=int, default=2000)
+    common(fig7)
+
+    table4 = sub.add_parser("table4", help="PrivTree running time")
+    common(table4)
+
+    sub.add_parser("svt", help="SVT privacy-loss counterexamples")
+    sub.add_parser("datasets", help="dataset characteristics (Tables 2-3)")
+    return parser
+
+
+def _run_svt() -> str:
+    from .experiments import SweepResult
+    from .svt import (
+        binary_svt_log_ratio,
+        improved_svt_log_ratio_bound,
+        vanilla_svt_log_ratio,
+    )
+
+    lam = 2.0
+    ks = [2, 4, 8, 16, 32, 64]
+    result = SweepResult(
+        title="SVT privacy loss at the claimed scale (lambda=2, eps=1)",
+        row_label="k",
+        rows=[float(k) for k in ks],
+        columns=[],
+    )
+    result.add_column("BinarySVT", [binary_svt_log_ratio(k, lam) for k in ks])
+    result.add_column("VanillaSVT", [vanilla_svt_log_ratio(k, lam) for k in ks])
+    result.add_column("claimed", [2.0] * len(ks))
+    result.add_column("Improved bound", [improved_svt_log_ratio_bound(lam)] * len(ks))
+    return result.to_table(format_float)
+
+
+def _run_datasets() -> str:
+    from .datasets import SEQUENCE_DATASETS, SPATIAL_DATASETS
+
+    lines = ["Datasets (paper scale -> default synthetic substitute)"]
+    for spec in list(SPATIAL_DATASETS.values()) + list(SEQUENCE_DATASETS.values()):
+        lines.append(
+            f"  {spec.name:8s} {spec.kind:8s} paper n={spec.paper_cardinality:>9,d} "
+            f"default n={spec.default_cardinality:>7,d}  {spec.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figure5":
+        result = run_range_query_experiment(
+            args.dataset,
+            args.band,
+            epsilons=args.epsilons,
+            n_reps=args.reps,
+            n_queries=args.queries,
+            dataset_n=args.n,
+            rng=args.seed,
+        )
+        print(result.to_table(format_percent))
+    elif args.command == "figure6":
+        result = run_topk_experiment(
+            args.dataset,
+            k=args.k,
+            epsilons=args.epsilons,
+            n_reps=args.reps,
+            dataset_n=args.n,
+            rng=args.seed,
+        )
+        print(result.to_table(format_float))
+    elif args.command == "figure7":
+        result = run_length_distribution_experiment(
+            args.dataset,
+            epsilons=args.epsilons,
+            n_reps=args.reps,
+            n_synthetic=args.synthetic,
+            dataset_n=args.n,
+            rng=args.seed,
+        )
+        print(result.to_table(format_float))
+    elif args.command == "table4":
+        result = run_privtree_timing(
+            epsilons=args.epsilons,
+            n_reps=args.reps,
+            dataset_n=args.n,
+            rng=args.seed,
+        )
+        print(result.to_table(format_seconds))
+    elif args.command == "svt":
+        print(_run_svt())
+    elif args.command == "datasets":
+        print(_run_datasets())
+    return 0

@@ -1,0 +1,35 @@
+"""The paper's core contribution: PrivTree and its privacy analysis."""
+
+from .analysis import (
+    delta_for_lambda,
+    epsilon_for_lambda,
+    lambda_for_epsilon,
+    path_cost_bound,
+    rho,
+    rho_top,
+    simpletree_scale,
+    split_probability,
+)
+from .node import DecompositionTree, TreeNode
+from .params import PrivTreeParams
+from .privtree import DEFAULT_MAX_DEPTH, MaxDepthWarning, privtree
+from .simpletree import simpletree, simpletree_for_epsilon
+
+__all__ = [
+    "DEFAULT_MAX_DEPTH",
+    "DecompositionTree",
+    "MaxDepthWarning",
+    "PrivTreeParams",
+    "TreeNode",
+    "delta_for_lambda",
+    "epsilon_for_lambda",
+    "lambda_for_epsilon",
+    "path_cost_bound",
+    "privtree",
+    "rho",
+    "rho_top",
+    "simpletree",
+    "simpletree_for_epsilon",
+    "simpletree_scale",
+    "split_probability",
+]

@@ -1,0 +1,76 @@
+"""Tree nodes shared by the PrivTree and SimpleTree engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, TypeVar
+
+__all__ = ["TreeNode", "DecompositionTree"]
+
+P = TypeVar("P")
+
+
+@dataclass
+class TreeNode(Generic[P]):
+    """One node of a decomposition tree.
+
+    ``payload`` is the application object (spatial node data, PST node, ...)
+    that knows its domain, its data subset, and its score.  ``noisy_score``
+    records the noisy value the engine compared against the threshold — kept
+    for SimpleTree (whose released counts are exactly these values) and for
+    diagnostics; PrivTree's released artifacts never expose it.
+    """
+
+    payload: P
+    depth: int
+    noisy_score: float | None = None
+    children: list["TreeNode[P]"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    def iter_nodes(self) -> Iterator["TreeNode[P]"]:
+        """All nodes of the subtree, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_leaves(self) -> Iterator["TreeNode[P]"]:
+        """All leaves of the subtree, left-to-right."""
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+
+@dataclass
+class DecompositionTree(Generic[P]):
+    """A finished decomposition: the root node plus simple statistics."""
+
+    root: TreeNode[P]
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes (the ``|T|`` of Lemma 3.2)."""
+        return sum(1 for _ in self.root.iter_nodes())
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves."""
+        return sum(1 for _ in self.root.iter_leaves())
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over all nodes (root has depth 0)."""
+        return max(node.depth for node in self.root.iter_nodes())
+
+    def nodes(self) -> list[TreeNode[P]]:
+        """All nodes, pre-order."""
+        return list(self.root.iter_nodes())
+
+    def leaves(self) -> list[TreeNode[P]]:
+        """All leaves, left-to-right."""
+        return list(self.root.iter_leaves())

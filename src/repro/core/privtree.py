@@ -1,0 +1,103 @@
+"""PrivTree — Algorithm 2 of the paper, generic over the domain.
+
+The engine walks a frontier of unvisited nodes.  For each node ``v`` it
+
+1. computes the biased score ``b(v) = max(theta - delta, score(v) - depth(v) * delta)``
+   (Equation (8)),
+2. perturbs it: ``bhat(v) = b(v) + Lap(lam)``,
+3. splits ``v`` iff ``bhat(v) > theta``.
+
+No height limit is needed: the decaying bias makes the expected tree size at
+most twice the noise-free tree (Lemma 3.2).  The engine works on any
+:class:`~repro.domains.base.NodePayload` — spatial boxes with point sets,
+product domains, or PST contexts — as long as the payload's score is
+monotone under splitting.
+
+Released artifacts must not expose the scores used here; the spatial and
+sequence wrappers add noisy counts in a separate, separately-budgeted
+postprocessing pass (§3.4).
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+from typing import TypeVar
+
+from ..domains.base import NodePayload
+from ..mechanisms.laplace import laplace_noise
+from ..mechanisms.rng import RngLike, ensure_rng
+from .node import DecompositionTree, TreeNode
+from .params import PrivTreeParams
+
+__all__ = ["privtree", "MaxDepthWarning", "DEFAULT_MAX_DEPTH"]
+
+P = TypeVar("P", bound=NodePayload)
+
+#: Implementation guard, not part of the paper's algorithm: Lemma 3.2 bounds
+#: the *expected* tree size, but a hard stop protects against pathological
+#: RNG streams and float-resolution degeneracy.  At fanout 4 a depth-64 tree
+#: would already hold 4^64 nodes, so the guard is far outside normal operation.
+DEFAULT_MAX_DEPTH = 64
+
+
+class MaxDepthWarning(UserWarning):
+    """Emitted if the max-depth guard truncated the decomposition."""
+
+
+def privtree(
+    root_payload: P,
+    params: PrivTreeParams,
+    rng: RngLike = None,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+) -> DecompositionTree[P]:
+    """Run PrivTree (Algorithm 2) from ``root_payload``.
+
+    Parameters
+    ----------
+    root_payload:
+        Domain + data for the whole space (``dom(v1) = Ω``).
+    params:
+        Calibrated noise scale / decay / threshold; build with
+        :meth:`PrivTreeParams.calibrate`.
+    rng:
+        Seed or generator for the Laplace noise.
+    max_depth:
+        Safety guard (see :data:`DEFAULT_MAX_DEPTH`); ``None`` disables it.
+
+    Returns
+    -------
+    DecompositionTree
+        The decomposition; node scores are *not* stored on the returned tree
+        (per Algorithm 2 line 11, all point counts are removed).
+    """
+    gen = ensure_rng(rng)
+    root = TreeNode(payload=root_payload, depth=0)
+    frontier: deque[TreeNode[P]] = deque([root])
+    guard_hit = False
+    while frontier:
+        node = frontier.popleft()
+        if not node.payload.can_split():
+            continue
+        if max_depth is not None and node.depth >= max_depth:
+            guard_hit = True
+            continue
+        biased = max(
+            params.floor(),
+            node.payload.score() - node.depth * params.delta,
+        )
+        noisy = biased + laplace_noise(params.lam, rng=gen)
+        if noisy > params.theta:
+            node.children = [
+                TreeNode(payload=child, depth=node.depth + 1)
+                for child in node.payload.split()
+            ]
+            frontier.extend(node.children)
+    if guard_hit:
+        warnings.warn(
+            f"PrivTree hit the max_depth={max_depth} guard; the decomposition "
+            "was truncated (this is outside the paper's analysis)",
+            MaxDepthWarning,
+            stacklevel=2,
+        )
+    return DecompositionTree(root=root)

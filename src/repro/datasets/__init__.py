@@ -1,0 +1,24 @@
+"""Synthetic substitutes for the paper's datasets (Tables 2 and 3)."""
+
+from .registry import (
+    SEQUENCE_DATASETS,
+    SPATIAL_DATASETS,
+    DatasetSpec,
+    make_dataset,
+)
+from .sequence import markov_sequences, mooclike, msnbclike
+from .spatial import beijinglike, gowallalike, nyclike, roadlike
+
+__all__ = [
+    "SEQUENCE_DATASETS",
+    "SPATIAL_DATASETS",
+    "DatasetSpec",
+    "beijinglike",
+    "gowallalike",
+    "make_dataset",
+    "markov_sequences",
+    "mooclike",
+    "msnbclike",
+    "nyclike",
+    "roadlike",
+]

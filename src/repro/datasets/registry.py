@@ -1,0 +1,116 @@
+"""A registry mapping the paper's dataset names to synthetic substitutes.
+
+Each entry records the paper's reported statistics (Tables 2 and 3) next to
+the generator and the scaled-down default cardinality used by the benchmark
+harness, so reports can show "paper scale" and "bench scale" side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from ..mechanisms.rng import RngLike
+from ..sequence.dataset import SequenceDataset
+from ..spatial.dataset import SpatialDataset
+from .sequence import mooclike, msnbclike
+from .spatial import beijinglike, gowallalike, nyclike, roadlike
+
+__all__ = ["DatasetSpec", "SPATIAL_DATASETS", "SEQUENCE_DATASETS", "make_dataset"]
+
+AnyDataset = Union[SpatialDataset, SequenceDataset]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata + generator for one of the paper's datasets."""
+
+    name: str
+    kind: str  # "spatial" | "sequence"
+    generator: Callable[..., AnyDataset]
+    paper_cardinality: int
+    default_cardinality: int
+    description: str
+    #: Spatial: dimensionality.  Sequence: alphabet size.
+    dimensionality: int
+    #: Sequence only: the paper's l_top and average length.
+    l_top: int | None = None
+    paper_average_length: float | None = None
+
+    def make(self, n: int | None = None, rng: RngLike = None) -> AnyDataset:
+        """Generate the dataset at ``n`` (default: bench-scale) cardinality."""
+        return self.generator(n or self.default_cardinality, rng)
+
+
+SPATIAL_DATASETS: dict[str, DatasetSpec] = {
+    "road": DatasetSpec(
+        name="road",
+        kind="spatial",
+        generator=roadlike,
+        paper_cardinality=1_634_165,
+        default_cardinality=100_000,
+        description="Road-junction analogue: points on a polyline network",
+        dimensionality=2,
+    ),
+    "gowalla": DatasetSpec(
+        name="gowalla",
+        kind="spatial",
+        generator=gowallalike,
+        paper_cardinality=107_091,
+        default_cardinality=40_000,
+        description="Check-in analogue: Zipf-weighted city clusters",
+        dimensionality=2,
+    ),
+    "nyc": DatasetSpec(
+        name="nyc",
+        kind="spatial",
+        generator=nyclike,
+        paper_cardinality=98_013,
+        default_cardinality=30_000,
+        description="NYC-taxi analogue: correlated 4-d pickup/dropoff pairs",
+        dimensionality=4,
+    ),
+    "beijing": DatasetSpec(
+        name="beijing",
+        kind="spatial",
+        generator=beijinglike,
+        paper_cardinality=30_000,
+        default_cardinality=15_000,
+        description="Beijing-taxi analogue: mild 4-d skew",
+        dimensionality=4,
+    ),
+}
+
+SEQUENCE_DATASETS: dict[str, DatasetSpec] = {
+    "mooc": DatasetSpec(
+        name="mooc",
+        kind="sequence",
+        generator=mooclike,
+        paper_cardinality=80_362,
+        default_cardinality=20_000,
+        description="MOOC-behaviour analogue: 7-state sticky Markov chain",
+        dimensionality=7,
+        l_top=50,
+        paper_average_length=13.46,
+    ),
+    "msnbc": DatasetSpec(
+        name="msnbc",
+        kind="sequence",
+        generator=msnbclike,
+        paper_cardinality=989_818,
+        default_cardinality=50_000,
+        description="Browsing analogue: 17-state chain, short sessions",
+        dimensionality=17,
+        l_top=20,
+        paper_average_length=4.75,
+    ),
+}
+
+
+def make_dataset(name: str, n: int | None = None, rng: RngLike = None) -> AnyDataset:
+    """Generate a registered dataset by name."""
+    spec = SPATIAL_DATASETS.get(name) or SEQUENCE_DATASETS.get(name)
+    if spec is None:
+        known = sorted(SPATIAL_DATASETS) + sorted(SEQUENCE_DATASETS)
+        raise KeyError(f"unknown dataset {name!r}; known: {known}")
+    return spec.make(n, rng)

@@ -1,0 +1,50 @@
+"""Protocols for decomposable domains.
+
+PrivTree (``repro.core.privtree``) is generic over *what* is being split: a
+spatial box, a categorical taxonomy, a product of both, or a prediction
+suffix tree context.  Two small protocols capture the contract:
+
+* :class:`Domain` — a sub-domain of the data space that can be split into
+  disjoint children covering it.
+* :class:`NodePayload` — a domain *bundled with the data it contains*, so a
+  tree construction can partition the dataset top-down instead of re-scanning
+  it at every node.  The payload also exposes the (monotone) score that drives
+  split decisions; for spatial data the score is the tuple count, for PSTs it
+  is Equation (13) of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = ["Domain", "NodePayload"]
+
+
+@runtime_checkable
+class Domain(Protocol):
+    """A sub-domain that can be recursively split."""
+
+    def split(self) -> Sequence["Domain"]:
+        """Partition this domain into disjoint child domains."""
+
+    def can_split(self) -> bool:
+        """Whether a further split is structurally possible."""
+
+
+@runtime_checkable
+class NodePayload(Protocol):
+    """A domain together with the data it contains and a split score.
+
+    Implementations must guarantee **monotonicity**: for every child ``c``
+    returned by :meth:`split`, ``c.score() <= self.score()``.  This is the
+    property the PrivTree privacy proof relies on (Section 3.5).
+    """
+
+    def score(self) -> float:
+        """The (exact, non-noisy) score used to decide whether to split."""
+
+    def split(self) -> Sequence["NodePayload"]:
+        """Split the domain and partition the contained data among children."""
+
+    def can_split(self) -> bool:
+        """Whether a further split is structurally possible."""

@@ -1,0 +1,131 @@
+"""Product domains mixing numeric and categorical attributes (Section 3.5).
+
+The paper's first extension: a multi-dimensional dataset whose numeric
+dimensions split by binary bisection and whose categorical dimensions split
+along a taxonomy.  :class:`ProductDomain` composes per-attribute components
+and splits them round-robin — one component per tree level — which matches
+the "split each numeric dimension according to a binary tree and each
+categorical dimension based on its taxonomy" recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Protocol, Sequence, runtime_checkable
+
+from .taxonomy import TaxonomyDomain
+
+__all__ = ["IntervalComponent", "ProductDomain", "DomainComponent"]
+
+
+@runtime_checkable
+class DomainComponent(Protocol):
+    """One attribute's sub-domain inside a :class:`ProductDomain`."""
+
+    def can_split(self) -> bool:
+        """Whether this component can be refined further."""
+
+    def split(self) -> Sequence["DomainComponent"]:
+        """Refine this component into disjoint children."""
+
+    def contains(self, value) -> bool:
+        """Whether a single attribute value falls in the component."""
+
+
+@dataclass(frozen=True)
+class IntervalComponent:
+    """A half-open numeric interval ``[low, high)`` that splits by bisection."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"degenerate interval [{self.low}, {self.high})")
+
+    def can_split(self) -> bool:
+        """False once float resolution makes the midpoint an endpoint."""
+        mid = (self.low + self.high) / 2.0
+        return self.low < mid < self.high
+
+    def split(self) -> list["IntervalComponent"]:
+        """Bisect into two half-open halves."""
+        mid = (self.low + self.high) / 2.0
+        if not self.low < mid < self.high:
+            raise ValueError(f"interval [{self.low}, {self.high}) is atomic")
+        return [IntervalComponent(self.low, mid), IntervalComponent(mid, self.high)]
+
+    def contains(self, value) -> bool:
+        """Whether ``value`` lies in ``[low, high)``."""
+        return self.low <= float(value) < self.high
+
+
+@dataclass(frozen=True)
+class ProductDomain:
+    """Cartesian product of per-attribute components, split round-robin.
+
+    ``next_axis`` is the component to try splitting first; unsplittable
+    components are skipped so a mixed tree keeps refining the attributes
+    that still have structure.
+    """
+
+    components: tuple[DomainComponent, ...]
+    next_axis: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a product domain needs at least one component")
+        if not 0 <= self.next_axis < len(self.components):
+            raise ValueError(
+                f"next_axis {self.next_axis} out of range for "
+                f"{len(self.components)} components"
+            )
+
+    def can_split(self) -> bool:
+        """Whether any component can still be refined."""
+        return any(c.can_split() for c in self.components)
+
+    def _split_axis(self) -> int:
+        k = len(self.components)
+        for offset in range(k):
+            axis = (self.next_axis + offset) % k
+            if self.components[axis].can_split():
+                return axis
+        raise ValueError("no component is splittable")
+
+    def split(self) -> list["ProductDomain"]:
+        """Split the next splittable component; children advance the cursor."""
+        axis = self._split_axis()
+        k = len(self.components)
+        children = []
+        for piece in self.components[axis].split():
+            comps = list(self.components)
+            comps[axis] = piece
+            children.append(ProductDomain(tuple(comps), (axis + 1) % k))
+        return children
+
+    def split_fanout(self) -> int:
+        """Number of children the *next* split will produce.
+
+        Useful for calibrating β when components have different fanouts
+        (the calibration must use the maximum over the whole tree).
+        """
+        axis = self._split_axis()
+        return len(self.components[axis].split())
+
+    def contains(self, row: Sequence[Hashable | float]) -> bool:
+        """Whether a tuple (one value per attribute) falls in the domain."""
+        if len(row) != len(self.components):
+            raise ValueError(
+                f"row has {len(row)} values but domain has "
+                f"{len(self.components)} components"
+            )
+        return all(c.contains(v) for c, v in zip(self.components, row))
+
+    def max_fanout(self) -> int:
+        """Largest fanout any split in the subtree can have (β for Corollary 1)."""
+        fanouts = [2]
+        for comp in self.components:
+            if isinstance(comp, TaxonomyDomain):
+                fanouts.append(comp.taxonomy.max_fanout())
+        return max(fanouts)

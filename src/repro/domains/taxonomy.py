@@ -1,0 +1,111 @@
+"""Categorical domains structured by a taxonomy (Section 3.5 extension).
+
+The paper notes PrivTree applies to any tree-structured domain, including
+categorical attributes equipped with a taxonomy: splitting a node replaces a
+category group by its taxonomy children.  :class:`Taxonomy` holds the static
+tree of category labels; :class:`TaxonomyDomain` is the live sub-domain (a
+node of that tree) used during decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["Taxonomy", "TaxonomyDomain"]
+
+
+@dataclass(frozen=True)
+class Taxonomy:
+    """A rooted tree over category labels.
+
+    ``children`` maps an internal label to its child labels; labels absent
+    from the mapping are leaves (concrete categories appearing in the data).
+    """
+
+    root: Hashable
+    children: Mapping[Hashable, tuple[Hashable, ...]]
+    _leaf_cache: dict[Hashable, frozenset[Hashable]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    @staticmethod
+    def from_dict(root: Hashable, children: Mapping[Hashable, Sequence[Hashable]]) -> "Taxonomy":
+        """Build a taxonomy, validating that it is a tree rooted at ``root``."""
+        frozen = {k: tuple(v) for k, v in children.items()}
+        for label, kids in frozen.items():
+            if len(kids) == 0:
+                raise ValueError(f"internal node {label!r} has no children")
+            if len(set(kids)) != len(kids):
+                raise ValueError(f"node {label!r} has duplicate children")
+        tax = Taxonomy(root, frozen)
+        seen: set[Hashable] = set()
+        stack = [root]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                raise ValueError(f"label {label!r} reachable twice: not a tree")
+            seen.add(label)
+            stack.extend(frozen.get(label, ()))
+        unreachable = set(frozen) - seen
+        if unreachable:
+            raise ValueError(f"unreachable internal nodes: {sorted(map(str, unreachable))}")
+        return tax
+
+    def is_leaf(self, label: Hashable) -> bool:
+        """Whether ``label`` has no taxonomy children."""
+        return label not in self.children
+
+    def children_of(self, label: Hashable) -> tuple[Hashable, ...]:
+        """Child labels of an internal node (empty tuple for leaves)."""
+        return self.children.get(label, ())
+
+    def leaves_under(self, label: Hashable) -> frozenset[Hashable]:
+        """All leaf categories in the subtree rooted at ``label`` (cached)."""
+        cached = self._leaf_cache.get(label)
+        if cached is not None:
+            return cached
+        if self.is_leaf(label):
+            result = frozenset([label])
+        else:
+            result = frozenset().union(
+                *(self.leaves_under(c) for c in self.children_of(label))
+            )
+        self._leaf_cache[label] = result
+        return result
+
+    def max_fanout(self) -> int:
+        """Largest number of children of any internal node (β for calibration)."""
+        if not self.children:
+            return 1
+        return max(len(kids) for kids in self.children.values())
+
+
+@dataclass(frozen=True)
+class TaxonomyDomain:
+    """The sub-domain "all categories under ``label``" of a taxonomy."""
+
+    taxonomy: Taxonomy
+    label: Hashable
+
+    def can_split(self) -> bool:
+        """Internal taxonomy nodes can split; leaf categories cannot."""
+        return not self.taxonomy.is_leaf(self.label)
+
+    def split(self) -> list["TaxonomyDomain"]:
+        """One child domain per taxonomy child of ``label``."""
+        if not self.can_split():
+            raise ValueError(f"category {self.label!r} is a leaf")
+        return [
+            TaxonomyDomain(self.taxonomy, child)
+            for child in self.taxonomy.children_of(self.label)
+        ]
+
+    def contains(self, value: Hashable) -> bool:
+        """Whether the concrete category ``value`` falls in this sub-domain."""
+        return value in self.taxonomy.leaves_under(self.label)
+
+    @property
+    def leaf_categories(self) -> frozenset[Hashable]:
+        """The concrete categories covered by this sub-domain."""
+        return self.taxonomy.leaves_under(self.label)

@@ -1,0 +1,41 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .results import (
+    SweepResult,
+    format_float,
+    format_percent,
+    format_seconds,
+)
+from .sequence_tasks import (
+    run_length_distribution_experiment,
+    run_ngram_height_ablation,
+    run_topk_experiment,
+)
+from .spatial_error import (
+    PAPER_EPSILONS,
+    run_ag_gridsize_ablation,
+    run_fanout_ablation,
+    run_hierarchy_height_ablation,
+    run_range_query_experiment,
+    run_ug_gridsize_ablation,
+    spatial_method_registry,
+)
+from .timing import run_privtree_timing
+
+__all__ = [
+    "PAPER_EPSILONS",
+    "SweepResult",
+    "format_float",
+    "format_percent",
+    "format_seconds",
+    "run_ag_gridsize_ablation",
+    "run_fanout_ablation",
+    "run_hierarchy_height_ablation",
+    "run_length_distribution_experiment",
+    "run_ngram_height_ablation",
+    "run_privtree_timing",
+    "run_range_query_experiment",
+    "run_topk_experiment",
+    "run_ug_gridsize_ablation",
+    "spatial_method_registry",
+]

@@ -1,0 +1,73 @@
+"""Result containers and ASCII reporting for experiment sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["SweepResult", "format_percent", "format_seconds", "format_float"]
+
+
+def format_percent(value: float) -> str:
+    """``0.0234 -> '2.34%'`` (the unit of the paper's error plots)."""
+    return f"{100.0 * value:.2f}%"
+
+
+def format_seconds(value: float) -> str:
+    """Seconds with adaptive precision (Table 4 style)."""
+    if value < 0.01:
+        return f"{value:.4f}s"
+    return f"{value:.3f}s"
+
+
+def format_float(value: float) -> str:
+    """Plain fixed-point formatting."""
+    return f"{value:.4f}"
+
+
+@dataclass
+class SweepResult:
+    """A grid of measurements: one row per x-value, one column per method."""
+
+    title: str
+    row_label: str
+    rows: list[float]
+    columns: list[str]
+    #: method name -> one value per row (NaN for not-applicable cells).
+    values: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_column(self, name: str, column: list[float]) -> None:
+        """Attach a method's measurements (must align with ``rows``)."""
+        if len(column) != len(self.rows):
+            raise ValueError(
+                f"column {name!r} has {len(column)} values for "
+                f"{len(self.rows)} rows"
+            )
+        if name not in self.columns:
+            self.columns.append(name)
+        self.values[name] = list(column)
+
+    def value(self, column: str, row: float) -> float:
+        """One cell, addressed by method name and row value."""
+        return self.values[column][self.rows.index(row)]
+
+    def to_table(self, fmt: Callable[[float], str] = format_percent) -> str:
+        """Render as a fixed-width ASCII table (benches print these)."""
+        header = [self.row_label] + self.columns
+        body: list[list[str]] = []
+        for i, row in enumerate(self.rows):
+            cells = [f"{row:g}"]
+            for col in self.columns:
+                value = self.values[col][i]
+                cells.append("--" if value != value else fmt(value))  # NaN check
+            body.append(cells)
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in body))
+            for c in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in body:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Differential-privacy primitives: noise distributions, mechanisms, budgets."""
+
+from .accountant import BudgetExceededError, PrivacyAccountant
+from .exponential import exponential_mechanism, exponential_weights
+from .geometric import geometric_mechanism, geometric_noise, geometric_pmf
+from .laplace import (
+    laplace_cdf,
+    laplace_logcdf,
+    laplace_logpdf,
+    laplace_logsf,
+    laplace_mechanism,
+    laplace_noise,
+    laplace_pdf,
+    laplace_sf,
+)
+from .rng import RngLike, ensure_rng, spawn
+
+__all__ = [
+    "BudgetExceededError",
+    "PrivacyAccountant",
+    "RngLike",
+    "ensure_rng",
+    "exponential_mechanism",
+    "exponential_weights",
+    "geometric_mechanism",
+    "geometric_noise",
+    "geometric_pmf",
+    "laplace_cdf",
+    "laplace_logcdf",
+    "laplace_logpdf",
+    "laplace_logsf",
+    "laplace_mechanism",
+    "laplace_noise",
+    "laplace_pdf",
+    "laplace_sf",
+    "spawn",
+]

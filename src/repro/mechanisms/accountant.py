@@ -1,0 +1,75 @@
+"""Sequential-composition budget accounting (Lemma 2.1 of the paper).
+
+A :class:`PrivacyAccountant` tracks the ε spent by a pipeline of mechanisms
+and refuses to exceed a total budget.  The PrivTree applications use it to
+make the §3.4 / §4.2 budget splits explicit and auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BudgetExceededError", "PrivacyAccountant"]
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a spend would push total ε above the configured budget."""
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks cumulative ε under sequential composition.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The overall privacy budget.  Each :meth:`spend` call draws from it;
+        once exhausted further spends raise :class:`BudgetExceededError`.
+    """
+
+    total_epsilon: float
+    _ledger: list[tuple[str, float]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.total_epsilon > 0:
+            raise ValueError(
+                f"total_epsilon must be positive, got {self.total_epsilon!r}"
+            )
+
+    @property
+    def spent(self) -> float:
+        """Total ε consumed so far."""
+        return sum(eps for _, eps in self._ledger)
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available (never negative)."""
+        return max(0.0, self.total_epsilon - self.spent)
+
+    @property
+    def ledger(self) -> list[tuple[str, float]]:
+        """Copy of the (label, ε) spend history."""
+        return list(self._ledger)
+
+    def spend(self, epsilon: float, label: str = "") -> float:
+        """Consume ``epsilon`` from the budget and return it.
+
+        A tiny relative tolerance absorbs float rounding when a caller splits
+        the budget into fractions that should sum exactly to the total.
+        """
+        if not epsilon > 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+        tolerance = 1e-9 * self.total_epsilon
+        if self.spent + epsilon > self.total_epsilon + tolerance:
+            raise BudgetExceededError(
+                f"spending {epsilon:.6g} would exceed budget: "
+                f"{self.spent:.6g} of {self.total_epsilon:.6g} already used"
+            )
+        self._ledger.append((label, epsilon))
+        return epsilon
+
+    def spend_fraction(self, fraction: float, label: str = "") -> float:
+        """Consume ``fraction`` of the *total* budget and return the ε spent."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+        return self.spend(fraction * self.total_epsilon, label)

@@ -1,0 +1,61 @@
+"""The exponential mechanism (McSherry & Talwar, FOCS 2007).
+
+Selects one element from a finite candidate set with probability proportional
+to ``exp(eps * score / (2 * sensitivity))``.  Used by the EM baseline for
+top-k frequent-string mining (Section 6.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from .rng import RngLike, ensure_rng
+
+__all__ = ["exponential_mechanism", "exponential_weights"]
+
+T = TypeVar("T")
+
+
+def exponential_weights(
+    scores: Sequence[float] | np.ndarray, sensitivity: float, epsilon: float
+) -> np.ndarray:
+    """Normalized selection probabilities of the exponential mechanism.
+
+    Computed in log-space with the max subtracted, so widely spread scores do
+    not overflow.
+    """
+    if not epsilon > 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+    if not sensitivity > 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity!r}")
+    arr = np.asarray(scores, dtype=float)
+    if arr.size == 0:
+        raise ValueError("candidate set must be non-empty")
+    logits = (epsilon / (2.0 * sensitivity)) * arr
+    logits -= logits.max()
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def exponential_mechanism(
+    candidates: Sequence[T],
+    scores: Sequence[float] | np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    rng: RngLike = None,
+) -> T:
+    """Privately select one candidate, scores being a function of the data.
+
+    The guarantee is ε-DP provided each candidate's score changes by at most
+    ``sensitivity`` between neighboring datasets.
+    """
+    if len(candidates) != len(scores):
+        raise ValueError(
+            f"{len(candidates)} candidates but {len(scores)} scores"
+        )
+    weights = exponential_weights(scores, sensitivity, epsilon)
+    gen = ensure_rng(rng)
+    index = int(gen.choice(len(weights), p=weights))
+    return candidates[index]

@@ -1,0 +1,120 @@
+"""The Laplace distribution and the Laplace mechanism.
+
+The Laplace mechanism (Dwork et al., TCC 2006) releases ``f(D) + Lap(scale)``
+and satisfies ``(S(f)/scale)``-differential privacy, where ``S(f)`` is the L1
+sensitivity of ``f``.  Besides sampling, this module provides the exact tail
+probabilities of the Laplace distribution, which the PrivTree privacy analysis
+(``repro.core.analysis``) and the SVT counterexamples (``repro.svt.attack``)
+rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .rng import RngLike, ensure_rng
+
+__all__ = [
+    "laplace_pdf",
+    "laplace_cdf",
+    "laplace_sf",
+    "laplace_logpdf",
+    "laplace_logcdf",
+    "laplace_logsf",
+    "laplace_noise",
+    "laplace_mechanism",
+]
+
+
+def _check_scale(scale: float) -> None:
+    if not scale > 0:
+        raise ValueError(f"Laplace scale must be positive, got {scale!r}")
+
+
+def laplace_pdf(x: float, scale: float, loc: float = 0.0) -> float:
+    """Density of ``Lap(scale)`` centred at ``loc`` (Equation (1) of the paper)."""
+    _check_scale(scale)
+    return math.exp(-abs(x - loc) / scale) / (2.0 * scale)
+
+
+def laplace_cdf(x: float, scale: float, loc: float = 0.0) -> float:
+    """``Pr[loc + Lap(scale) <= x]``, exact."""
+    _check_scale(scale)
+    z = (x - loc) / scale
+    if z <= 0:
+        return 0.5 * math.exp(z)
+    return 1.0 - 0.5 * math.exp(-z)
+
+
+def laplace_sf(x: float, scale: float, loc: float = 0.0) -> float:
+    """``Pr[loc + Lap(scale) > x]``, exact (survival function)."""
+    _check_scale(scale)
+    z = (x - loc) / scale
+    if z >= 0:
+        return 0.5 * math.exp(-z)
+    return 1.0 - 0.5 * math.exp(z)
+
+
+def laplace_logpdf(x: float, scale: float, loc: float = 0.0) -> float:
+    """Log-density of ``Lap(scale)`` centred at ``loc``."""
+    _check_scale(scale)
+    return -abs(x - loc) / scale - math.log(2.0 * scale)
+
+
+def laplace_logcdf(x: float, scale: float, loc: float = 0.0) -> float:
+    """``ln Pr[loc + Lap(scale) <= x]`` computed without underflow."""
+    _check_scale(scale)
+    z = (x - loc) / scale
+    if z <= 0:
+        return math.log(0.5) + z
+    return math.log1p(-0.5 * math.exp(-z))
+
+
+def laplace_logsf(x: float, scale: float, loc: float = 0.0) -> float:
+    """``ln Pr[loc + Lap(scale) > x]`` computed without underflow."""
+    _check_scale(scale)
+    z = (x - loc) / scale
+    if z >= 0:
+        return math.log(0.5) - z
+    return math.log1p(-0.5 * math.exp(z))
+
+
+def laplace_noise(
+    scale: float, size: int | tuple[int, ...] | None = None, rng: RngLike = None
+) -> float | np.ndarray:
+    """Draw i.i.d. ``Lap(scale)`` noise.
+
+    Returns a scalar when ``size`` is ``None``, otherwise an array of the
+    requested shape.
+    """
+    _check_scale(scale)
+    gen = ensure_rng(rng)
+    if size is None:
+        return float(gen.laplace(0.0, scale))
+    return gen.laplace(0.0, scale, size=size)
+
+
+def laplace_mechanism(
+    values: float | Sequence[float] | np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    rng: RngLike = None,
+) -> float | np.ndarray:
+    """Release ``values`` under ε-DP via the Laplace mechanism.
+
+    ``values`` is the exact output of a function with L1 sensitivity
+    ``sensitivity`` over the *whole vector*; noise of scale
+    ``sensitivity / epsilon`` is added to every entry.
+    """
+    if not epsilon > 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+    if not sensitivity > 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity!r}")
+    scale = sensitivity / epsilon
+    if np.isscalar(values):
+        return float(values) + laplace_noise(scale, rng=rng)
+    arr = np.asarray(values, dtype=float)
+    return arr + laplace_noise(scale, size=arr.shape, rng=rng)

@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing.
+
+Every randomized routine in this library accepts either a seed or a
+:class:`numpy.random.Generator` and never touches numpy's global state, so
+results are reproducible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Anything accepted where randomness is needed: a seed, a Generator, or
+#: ``None`` for OS entropy.
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (so callers can thread
+    one generator through a whole experiment); passing an integer seeds a new
+    PCG64 generator; passing ``None`` draws entropy from the OS.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used by experiments that run repetitions in a loop: each repetition gets
+    its own stream, so adding or removing repetitions does not perturb the
+    others.
+    """
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

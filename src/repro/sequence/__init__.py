@@ -1,0 +1,35 @@
+"""Private Markov models over sequence data (Section 4)."""
+
+from .alphabet import Alphabet, END_SYMBOL, START_SYMBOL
+from .dataset import SequenceDataset, TokenStore
+from .markov import MarkovModel
+from .metrics import length_distribution, top_k_precision, total_variation_distance
+from .payload import PSTNodeData, equation_13_score
+from .private_pst import exact_pst, private_pst
+from .pst import PredictionSuffixTree, PSTNode
+from .serialize import load_pst, pst_from_dict, pst_to_dict, save_pst
+from .tasks import count_substrings, exact_top_k
+
+__all__ = [
+    "Alphabet",
+    "END_SYMBOL",
+    "MarkovModel",
+    "PSTNode",
+    "PSTNodeData",
+    "PredictionSuffixTree",
+    "START_SYMBOL",
+    "SequenceDataset",
+    "TokenStore",
+    "count_substrings",
+    "equation_13_score",
+    "exact_pst",
+    "exact_top_k",
+    "length_distribution",
+    "load_pst",
+    "private_pst",
+    "pst_from_dict",
+    "pst_to_dict",
+    "save_pst",
+    "top_k_precision",
+    "total_variation_distance",
+]

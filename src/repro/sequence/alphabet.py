@@ -1,0 +1,98 @@
+"""Alphabets and the sentinel symbols of Section 4.1.
+
+Symbols are encoded as small integers: ``0 .. size-1`` for the alphabet ``I``,
+``size`` for the end marker ``&`` and ``size + 1`` for the start marker ``$``.
+Prediction histograms are indexed over ``I ∪ {&}``, i.e. codes ``0 .. size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Alphabet", "END_SYMBOL", "START_SYMBOL"]
+
+END_SYMBOL = "&"
+START_SYMBOL = "$"
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A finite symbol set ``I`` with integer encoding and sentinels."""
+
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise ValueError("alphabet must contain at least one symbol")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError("alphabet symbols must be distinct")
+        for forbidden in (END_SYMBOL, START_SYMBOL):
+            if forbidden in self.symbols:
+                raise ValueError(f"symbol {forbidden!r} is reserved as a sentinel")
+
+    @staticmethod
+    def of_size(size: int) -> "Alphabet":
+        """An alphabet of ``size`` generic symbols ``s0, s1, ...``."""
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size!r}")
+        return Alphabet(tuple(f"s{i}" for i in range(size)))
+
+    @property
+    def size(self) -> int:
+        """``|I|`` — the number of ordinary symbols."""
+        return len(self.symbols)
+
+    @property
+    def end_code(self) -> int:
+        """Integer code of the end marker ``&``."""
+        return self.size
+
+    @property
+    def start_code(self) -> int:
+        """Integer code of the start marker ``$``."""
+        return self.size + 1
+
+    @property
+    def hist_size(self) -> int:
+        """Length of a prediction histogram: ``|I| + 1`` (symbols plus ``&``)."""
+        return self.size + 1
+
+    @property
+    def pst_fanout(self) -> int:
+        """β of the PST: each split prepends a symbol from ``I ∪ {$}``."""
+        return self.size + 1
+
+    def code_of(self, symbol: str) -> int:
+        """Integer code of a symbol (sentinels included)."""
+        if symbol == END_SYMBOL:
+            return self.end_code
+        if symbol == START_SYMBOL:
+            return self.start_code
+        try:
+            return self.symbols.index(symbol)
+        except ValueError:
+            raise KeyError(f"unknown symbol {symbol!r}") from None
+
+    def symbol_of(self, code: int) -> str:
+        """Inverse of :meth:`code_of`."""
+        if code == self.end_code:
+            return END_SYMBOL
+        if code == self.start_code:
+            return START_SYMBOL
+        if 0 <= code < self.size:
+            return self.symbols[code]
+        raise KeyError(f"invalid symbol code {code!r}")
+
+    def encode(self, symbols: Iterable[str]) -> np.ndarray:
+        """Encode a sequence of plain symbols (no sentinels) to codes."""
+        codes = [self.code_of(s) for s in symbols]
+        if any(c >= self.size for c in codes):
+            raise ValueError("sequences must not contain sentinel symbols")
+        return np.asarray(codes, dtype=np.int64)
+
+    def decode(self, codes: Sequence[int] | np.ndarray) -> list[str]:
+        """Decode integer codes back to symbols (sentinels allowed)."""
+        return [self.symbol_of(int(c)) for c in codes]

@@ -1,0 +1,54 @@
+"""Accuracy metrics for sequence tasks (Section 6.2)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["top_k_precision", "length_distribution", "total_variation_distance"]
+
+
+def top_k_precision(
+    exact: Iterable[tuple[int, ...]], returned: Iterable[tuple[int, ...]]
+) -> float:
+    """``|K(D) ∩ A(D)| / k`` — the paper's top-k precision.
+
+    ``k`` is taken from the exact answer set's size; the returned set is
+    truncated/padded implicitly by intersection.
+    """
+    exact_set = set(exact)
+    if not exact_set:
+        raise ValueError("exact top-k set must be non-empty")
+    returned_set = set(returned)
+    return len(exact_set & returned_set) / len(exact_set)
+
+
+def length_distribution(
+    lengths: Sequence[int] | np.ndarray, max_length: int
+) -> np.ndarray:
+    """Empirical distribution of sequence lengths over ``0 .. max_length``.
+
+    Lengths above ``max_length`` are clamped into the final bin, mirroring
+    the ``l⊤`` truncation.
+    """
+    arr = np.asarray(lengths, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("lengths must be non-empty")
+    clamped = np.clip(arr, 0, max_length)
+    counts = np.bincount(clamped, minlength=max_length + 1)
+    return counts / counts.sum()
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``TV(p, q) = 0.5 * ||p - q||_1`` between two distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    for name, dist in (("p", p), ("q", q)):
+        if (dist < -1e-12).any():
+            raise ValueError(f"{name} has negative entries")
+        if not np.isclose(dist.sum(), 1.0, atol=1e-6):
+            raise ValueError(f"{name} does not sum to 1 (sum={dist.sum():.6f})")
+    return float(0.5 * np.abs(p - q).sum())

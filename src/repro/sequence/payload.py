@@ -1,0 +1,104 @@
+"""The PST node payload driving the modified PrivTree (Section 4.2).
+
+Each payload holds a context plus the vectorized list of its *occurrences* —
+the positions in the flat token store where the context is immediately
+followed by a symbol.  Splitting filters the parent's occurrences by the
+preceding token, so the whole construction makes one pass over each
+occurrence per tree level.
+
+The split score is Equation (13):
+
+    c(v) = ‖hist(v)‖₁ − max_x hist(v)[x]
+
+which is monotone (Lemma 4.1) and small when the histogram has either a
+small magnitude (condition C2) or low entropy (condition C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dataset import TokenStore
+
+__all__ = ["PSTNodeData", "equation_13_score"]
+
+
+def equation_13_score(hist: np.ndarray) -> float:
+    """``‖hist‖₁ − max(hist)`` — Equation (13); 0 for an empty histogram."""
+    if hist.size == 0 or hist.sum() == 0:
+        return 0.0
+    return float(hist.sum() - hist.max())
+
+
+@dataclass
+class PSTNodeData:
+    """Context + occurrence positions, ready for splitting."""
+
+    store: TokenStore
+    context: tuple[int, ...]
+    occurrences: np.ndarray
+    occurrence_starts: np.ndarray
+    _hist: np.ndarray | None = field(default=None, repr=False)
+
+    @staticmethod
+    def root(store: TokenStore) -> "PSTNodeData":
+        """The empty-context root: every prediction position occurs."""
+        positions, seq_starts = store.prediction_positions()
+        return PSTNodeData(
+            store=store,
+            context=(),
+            occurrences=positions,
+            occurrence_starts=seq_starts,
+        )
+
+    def hist(self) -> np.ndarray:
+        """The exact prediction histogram over ``I ∪ {&}`` (cached)."""
+        if self._hist is None:
+            next_tokens = self.store.flat[self.occurrences]
+            self._hist = np.bincount(
+                next_tokens, minlength=self.store.alphabet.hist_size
+            )[: self.store.alphabet.hist_size].astype(np.int64)
+        return self._hist
+
+    def score(self) -> float:
+        """Equation (13) on the exact histogram."""
+        return equation_13_score(self.hist())
+
+    def can_split(self) -> bool:
+        """Condition C1: a context starting with ``$`` cannot be extended."""
+        return not (
+            self.context and self.context[0] == self.store.alphabet.start_code
+        )
+
+    def split(self) -> list["PSTNodeData"]:
+        """One child per symbol in ``I ∪ {$}`` prepended to the context.
+
+        An occurrence survives into the child whose symbol precedes the
+        context; because ``$`` opens every sequence, the children partition
+        the parent's occurrences exactly.
+        """
+        if not self.can_split():
+            raise ValueError(
+                f"context {self.context!r} starts with $ and cannot be split"
+            )
+        alphabet = self.store.alphabet
+        L = len(self.context)
+        prev_positions = self.occurrences - L - 1
+        valid = prev_positions >= self.occurrence_starts
+        prev_tokens = np.where(
+            valid, self.store.flat[np.maximum(prev_positions, 0)], -1
+        )
+        children = []
+        for code in list(range(alphabet.size)) + [alphabet.start_code]:
+            mask = prev_tokens == code
+            children.append(
+                PSTNodeData(
+                    store=self.store,
+                    context=(code,) + self.context,
+                    occurrences=self.occurrences[mask],
+                    occurrence_starts=self.occurrence_starts[mask],
+                )
+            )
+        return children

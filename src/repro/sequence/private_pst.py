@@ -1,0 +1,120 @@
+"""The modified PrivTree for private Markov models (Section 4.2).
+
+Pipeline (Theorems 4.1 and 4.2, plus the §4.2 budget split):
+
+1. **Structure** — run PrivTree over PST contexts with the Equation (13)
+   score, fanout ``β = |I| + 1`` and score sensitivity ``l⊤`` (one inserted
+   sequence touches at most ``l⊤`` root-to-leaf paths, changing each
+   affected node's score by at most one each time).  Budget: ``ε / β``.
+2. **Histograms** — release each leaf's prediction histogram with
+   ``Lap(l⊤ / ε_hist)`` noise, ``ε_hist = ε (β − 1) / β`` (each token of a
+   sequence lands in exactly one leaf histogram, so the leaf-histogram
+   vector has sensitivity ``l⊤``).
+3. **Postprocess** — internal histograms are sums of their leaves; negative
+   counts clamp to zero so every histogram is a valid distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.node import TreeNode
+from ..core.params import PrivTreeParams
+from ..core.privtree import DEFAULT_MAX_DEPTH, privtree
+from ..mechanisms.accountant import PrivacyAccountant
+from ..mechanisms.rng import RngLike, ensure_rng
+from .dataset import SequenceDataset, TokenStore
+from .payload import PSTNodeData
+from .pst import PredictionSuffixTree, PSTNode
+
+__all__ = ["private_pst", "exact_pst"]
+
+
+def _release(
+    node: TreeNode[PSTNodeData],
+    scale: float | None,
+    rng: np.random.Generator,
+) -> PSTNode:
+    """Recursively build the released PST; ``scale=None`` means no noise."""
+    if node.is_leaf:
+        hist = node.payload.hist().astype(float)
+        if scale is not None:
+            hist = hist + rng.laplace(0.0, scale, size=hist.shape)
+        return PSTNode(context=node.payload.context, hist=hist)
+    children = {}
+    total = None
+    for child in node.children:
+        released = _release(child, scale, rng)
+        children[released.context[0]] = released
+        total = released.hist if total is None else total + released.hist
+    return PSTNode(context=node.payload.context, hist=total, children=children)
+
+
+def private_pst(
+    dataset: SequenceDataset,
+    epsilon: float,
+    l_top: int,
+    theta: float = 0.0,
+    rng: RngLike = None,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+) -> PredictionSuffixTree:
+    """Build an ε-DP prediction suffix tree over ``dataset``.
+
+    ``l_top`` is the Section 4.2 length bound; sequences longer than it are
+    truncated (open-ended) before anything touches the data.
+    """
+    gen = ensure_rng(rng)
+    store = dataset.truncate(l_top)
+    beta = dataset.alphabet.pst_fanout
+    accountant = PrivacyAccountant(epsilon)
+    eps_tree = accountant.spend_fraction(1.0 / beta, "PST structure")
+    eps_hist = accountant.spend_fraction(1.0 - 1.0 / beta, "leaf histograms")
+
+    params = PrivTreeParams.calibrate(
+        eps_tree, fanout=beta, sensitivity=float(l_top), theta=theta
+    )
+    tree = privtree(PSTNodeData.root(store), params, rng=gen, max_depth=max_depth)
+
+    hist_scale = l_top / eps_hist  # Theorem 4.2
+    root = _release(tree.root, hist_scale, gen)
+    _clamp_nonnegative(root)
+    return PredictionSuffixTree(alphabet=dataset.alphabet, root=root)
+
+
+def exact_pst(
+    dataset: SequenceDataset,
+    l_top: int,
+    split_threshold: float = 0.0,
+    max_context: int = 16,
+) -> PredictionSuffixTree:
+    """A non-private PST: split while Equation (13) exceeds the threshold.
+
+    Used by tests (ground truth) and by the Truncate baseline's synthetic
+    generation.  ``max_context`` bounds context length for tractability.
+    """
+    store: TokenStore = dataset.truncate(l_top)
+    root_payload = PSTNodeData.root(store)
+    root_node = TreeNode(payload=root_payload, depth=0)
+    frontier = [root_node]
+    while frontier:
+        node = frontier.pop()
+        payload = node.payload
+        if (
+            payload.can_split()
+            and len(payload.context) < max_context
+            and payload.score() > split_threshold
+        ):
+            node.children = [
+                TreeNode(payload=c, depth=node.depth + 1) for c in payload.split()
+            ]
+            frontier.extend(node.children)
+    gen = ensure_rng(0)  # unused: scale is None
+    root = _release(root_node, None, gen)
+    return PredictionSuffixTree(alphabet=dataset.alphabet, root=root)
+
+
+def _clamp_nonnegative(node: PSTNode) -> None:
+    """Reset negative histogram counts to zero, bottom-up (Section 4.2)."""
+    for child in node.children.values():
+        _clamp_nonnegative(child)
+    np.maximum(node.hist, 0.0, out=node.hist)

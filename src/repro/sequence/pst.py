@@ -1,0 +1,192 @@
+"""Prediction suffix trees (Section 4.1).
+
+A PST node carries a *predictor string* ``dom(v)`` (a context over
+``I ∪ {$}``) and a *prediction histogram* ``hist(v)`` counting, for every
+``x ∈ I ∪ {&}``, how often an occurrence of the context is immediately
+followed by ``x``.  Children prepend one symbol to the parent's context.
+
+This module holds the released artifact (:class:`PredictionSuffixTree`) and
+its query/sampling algorithms; the construction machinery (exact counting
+payload + modified PrivTree) lives in ``payload.py`` / ``private_pst.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..mechanisms.rng import RngLike, ensure_rng
+from .alphabet import Alphabet
+
+__all__ = ["PSTNode", "PredictionSuffixTree"]
+
+
+@dataclass
+class PSTNode:
+    """A released PST node: context, histogram, children by prepended code."""
+
+    context: tuple[int, ...]
+    hist: np.ndarray
+    children: dict[int, "PSTNode"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    @property
+    def magnitude(self) -> float:
+        """``‖hist(v)‖₁`` — the total of the prediction histogram."""
+        return float(self.hist.sum())
+
+    def iter_nodes(self) -> Iterator["PSTNode"]:
+        """All nodes of the subtree, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+
+@dataclass
+class PredictionSuffixTree:
+    """A PST supporting string-frequency estimation and sequence sampling."""
+
+    alphabet: Alphabet
+    root: PSTNode
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes."""
+        return sum(1 for _ in self.root.iter_nodes())
+
+    @property
+    def height(self) -> int:
+        """Longest context length."""
+        return max(len(n.context) for n in self.root.iter_nodes())
+
+    def lookup(self, context: Sequence[int]) -> PSTNode:
+        """The node whose predictor string is the longest suffix of ``context``.
+
+        Children prepend symbols, so the walk consumes ``context`` from its
+        end backwards.
+        """
+        node = self.root
+        for code in reversed(list(context)):
+            child = node.children.get(int(code))
+            if child is None:
+                break
+            node = child
+        return node
+
+    def _step_distribution(self, node: PSTNode) -> np.ndarray | None:
+        total = node.hist.sum()
+        if total <= 0:
+            return None
+        return node.hist / total
+
+    @staticmethod
+    def _sample_code(dist: np.ndarray, gen: np.random.Generator) -> int:
+        # Inverse-CDF sampling: considerably faster than Generator.choice
+        # for the small histograms sampled once per generated symbol.
+        return int(np.searchsorted(np.cumsum(dist), gen.random(), side="right"))
+
+    def string_frequency(self, codes: Sequence[int]) -> float:
+        """Estimate how often the string occurs in ``D`` (Equation (12)).
+
+        ``codes`` must be plain symbols (no sentinels).  The first symbol's
+        count comes from the root histogram; every further symbol multiplies
+        by the conditional probability predicted by the longest matching
+        context.
+        """
+        codes = [int(c) for c in codes]
+        if not codes:
+            raise ValueError("query string must be non-empty")
+        if any(c >= self.alphabet.size or c < 0 for c in codes):
+            raise ValueError("query string must contain ordinary symbols only")
+        answer = float(self.root.hist[codes[0]])
+        for i in range(1, len(codes)):
+            if answer <= 0:
+                return 0.0
+            node = self.lookup(codes[:i])
+            dist = self._step_distribution(node)
+            if dist is None:
+                return 0.0
+            answer *= float(dist[codes[i]])
+        return max(answer, 0.0)
+
+    def string_frequency_of(self, symbols: Sequence[str]) -> float:
+        """Symbol-level convenience wrapper around :meth:`string_frequency`."""
+        return self.string_frequency(
+            [self.alphabet.code_of(s) for s in symbols]
+        )
+
+    def sample_sequence(
+        self, rng: RngLike = None, max_length: int | None = None
+    ) -> np.ndarray:
+        """Generate one synthetic sequence (Section 4.1's sampling procedure).
+
+        Starts from the context ``[$]`` and repeatedly samples the next
+        symbol from the longest-matching node's histogram until ``&`` or
+        ``max_length`` symbols.  Returns plain symbol codes (no sentinels).
+        """
+        gen = ensure_rng(rng)
+        if max_length is None:
+            max_length = 10_000
+        context: list[int] = [self.alphabet.start_code]
+        out: list[int] = []
+        end = self.alphabet.end_code
+        for _ in range(max_length):
+            node = self.lookup(context)
+            dist = self._step_distribution(node)
+            if dist is None:
+                break
+            code = min(self._sample_code(dist, gen), len(dist) - 1)
+            if code == end:
+                break
+            out.append(code)
+            context.append(code)
+        return np.asarray(out, dtype=np.int64)
+
+    def sample_dataset(
+        self, n: int, rng: RngLike = None, max_length: int | None = None
+    ) -> list[np.ndarray]:
+        """Sample ``n`` synthetic sequences."""
+        gen = ensure_rng(rng)
+        return [self.sample_sequence(gen, max_length) for _ in range(n)]
+
+    def top_k_strings(
+        self, k: int, max_length: int = 12
+    ) -> list[tuple[tuple[int, ...], float]]:
+        """The model's ``k`` most frequent strings, by best-first search.
+
+        Equation (12) estimates are non-increasing under extension (each
+        step multiplies by a probability), so a priority queue over prefixes
+        explores exactly the candidates that can still reach the answer set.
+        Returns ``(codes, estimated_count)`` pairs, most frequent first.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k!r}")
+        counter = 0
+        heap: list[tuple[float, int, tuple[int, ...]]] = []
+        for code in range(self.alphabet.size):
+            est = self.string_frequency([code])
+            heap.append((-est, counter, (code,)))
+            counter += 1
+        heapq.heapify(heap)
+        results: list[tuple[tuple[int, ...], float]] = []
+        while heap and len(results) < k:
+            neg_est, _, codes = heapq.heappop(heap)
+            est = -neg_est
+            results.append((codes, est))
+            if len(codes) < max_length and est > 0:
+                for code in range(self.alphabet.size):
+                    ext = codes + (code,)
+                    ext_est = self.string_frequency(ext)
+                    if ext_est > 0:
+                        heapq.heappush(heap, (-ext_est, counter, ext))
+                        counter += 1
+        return results

@@ -1,0 +1,77 @@
+"""Serialization of released prediction suffix trees.
+
+Mirrors ``repro.spatial.serialize``: the published artifact (contexts,
+noisy histograms, the alphabet) as plain JSON, so a private Markov model
+can be shipped to consumers who only need to *use* it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .alphabet import Alphabet
+from .pst import PredictionSuffixTree, PSTNode
+
+__all__ = ["pst_to_dict", "pst_from_dict", "save_pst", "load_pst"]
+
+_FORMAT = "repro.prediction_suffix_tree"
+_VERSION = 1
+
+
+def _node_to_dict(node: PSTNode) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "context": list(node.context),
+        "hist": [float(v) for v in node.hist],
+    }
+    if node.children:
+        out["children"] = {
+            str(code): _node_to_dict(child)
+            for code, child in sorted(node.children.items())
+        }
+    return out
+
+
+def _node_from_dict(data: dict[str, Any]) -> PSTNode:
+    children = {
+        int(code): _node_from_dict(child)
+        for code, child in data.get("children", {}).items()
+    }
+    return PSTNode(
+        context=tuple(int(c) for c in data["context"]),
+        hist=np.asarray(data["hist"], dtype=float),
+        children=children,
+    )
+
+
+def pst_to_dict(pst: PredictionSuffixTree) -> dict[str, Any]:
+    """Plain-JSON representation of a released PST."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "alphabet": list(pst.alphabet.symbols),
+        "root": _node_to_dict(pst.root),
+    }
+
+
+def pst_from_dict(data: dict[str, Any]) -> PredictionSuffixTree:
+    """Inverse of :func:`pst_to_dict` (validates the header)."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a PST document: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    alphabet = Alphabet(tuple(data["alphabet"]))
+    return PredictionSuffixTree(alphabet=alphabet, root=_node_from_dict(data["root"]))
+
+
+def save_pst(pst: PredictionSuffixTree, path: str | Path) -> None:
+    """Write a PST to a JSON file."""
+    Path(path).write_text(json.dumps(pst_to_dict(pst)))
+
+
+def load_pst(path: str | Path) -> PredictionSuffixTree:
+    """Read a PST back from a JSON file."""
+    return pst_from_dict(json.loads(Path(path).read_text()))

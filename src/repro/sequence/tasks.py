@@ -1,0 +1,53 @@
+"""The two analytical tasks of Section 6.2.
+
+* **Top-k frequent strings** — the k strings (over ``I``, sentinels
+  excluded) occurring most often as substrings of the sequences in ``D``.
+  ``exact_top_k`` computes the ground truth ``K(D)``; each method's
+  ``A(D)`` is compared with :func:`~repro.sequence.metrics.top_k_precision`.
+* **Sequence-length distribution** — methods generate synthetic data whose
+  length distribution is compared to the input's by total variation
+  distance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .dataset import SequenceDataset
+
+__all__ = ["count_substrings", "exact_top_k"]
+
+
+def count_substrings(
+    dataset: SequenceDataset, max_length: int
+) -> Counter[tuple[int, ...]]:
+    """Occurrence counts of every substring of length ``<= max_length``.
+
+    Counts *occurrences* (a string appearing twice in one sequence counts
+    twice), matching the paper's notion of string frequency.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length!r}")
+    counts: Counter[tuple[int, ...]] = Counter()
+    for seq in dataset.sequences:
+        tokens = tuple(int(c) for c in seq)
+        n = len(tokens)
+        for start in range(n):
+            limit = min(max_length, n - start)
+            for length in range(1, limit + 1):
+                counts[tokens[start : start + length]] += 1
+    return counts
+
+
+def exact_top_k(
+    dataset: SequenceDataset, k: int, max_length: int = 10
+) -> list[tuple[int, ...]]:
+    """The ground-truth top-k frequent strings ``K(D)``.
+
+    Ties break lexicographically so the answer is deterministic.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k!r}")
+    counts = count_substrings(dataset, max_length)
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return [codes for codes, _ in ranked[:k]]

@@ -1,0 +1,33 @@
+"""Private spatial decompositions: datasets, trees, queries, metrics."""
+
+from .dataset import SpatialDataset
+from .histogram_tree import HistogramNode, HistogramTree
+from .metrics import SMOOTHING_FRACTION, average_relative_error, relative_error
+from .payload import SpatialNodeData
+from .quadtree import privtree_decomposition, privtree_histogram, simpletree_histogram
+from .queries import QUERY_BANDS, QueryBand, generate_workload, random_query
+from .render import render_density, render_leaf_depth
+from .serialize import load_tree, save_tree, tree_from_dict, tree_to_dict
+
+__all__ = [
+    "QUERY_BANDS",
+    "HistogramNode",
+    "HistogramTree",
+    "QueryBand",
+    "SMOOTHING_FRACTION",
+    "SpatialDataset",
+    "SpatialNodeData",
+    "average_relative_error",
+    "generate_workload",
+    "load_tree",
+    "privtree_decomposition",
+    "privtree_histogram",
+    "random_query",
+    "relative_error",
+    "render_density",
+    "render_leaf_depth",
+    "save_tree",
+    "simpletree_histogram",
+    "tree_from_dict",
+    "tree_to_dict",
+]

@@ -1,0 +1,71 @@
+"""Spatial point datasets (the ``D`` of Sections 2.2 and 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..domains.box import Box
+
+__all__ = ["SpatialDataset"]
+
+
+@dataclass(frozen=True)
+class SpatialDataset:
+    """A set of points in a box-shaped domain.
+
+    Attributes
+    ----------
+    points:
+        ``(n, d)`` float array.  Points outside ``domain`` are rejected at
+        construction: the decomposition's root must cover all of ``D``.
+    domain:
+        The data space Ω.
+    name:
+        Optional label used in experiment reports.
+    """
+
+    points: np.ndarray
+    domain: Box
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=float)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2-d (n, d), got shape {pts.shape}")
+        if pts.shape[1] != self.domain.ndim:
+            raise ValueError(
+                f"points have {pts.shape[1]} dims but domain has {self.domain.ndim}"
+            )
+        if pts.shape[0] > 0 and not self.domain.contains_points(pts).all():
+            raise ValueError("some points fall outside the domain")
+        object.__setattr__(self, "points", pts)
+
+    @staticmethod
+    def from_points(points: np.ndarray, name: str = "unnamed", padding: float = 1e-9) -> "SpatialDataset":
+        """Wrap raw points, taking their bounding box as the domain."""
+        return SpatialDataset(
+            points=np.asarray(points, dtype=float),
+            domain=Box.bounding(points, padding=padding),
+            name=name,
+        )
+
+    @property
+    def n(self) -> int:
+        """Cardinality of the dataset."""
+        return self.points.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the data space."""
+        return self.domain.ndim
+
+    def count_in(self, box: Box) -> int:
+        """Exact number of points in ``box`` (the true answer of a range query)."""
+        return box.count_points(self.points)
+
+    def restrict(self, box: Box) -> "SpatialDataset":
+        """The sub-dataset of points falling in ``box`` (with ``box`` as domain)."""
+        mask = box.contains_points(self.points)
+        return SpatialDataset(points=self.points[mask], domain=box, name=self.name)

@@ -1,0 +1,137 @@
+"""The released spatial synopsis: a tree of boxes with noisy counts.
+
+This is the public artifact a data curator would actually publish — it holds
+no raw points, only sub-domains and noisy counts.  Range-count queries are
+answered with the top-down traversal of Section 2.2: fully-covered nodes
+contribute their count, partially-covered leaves contribute a
+uniformity-based fraction of theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..domains.box import Box
+
+__all__ = ["HistogramNode", "HistogramTree"]
+
+
+@dataclass
+class HistogramNode:
+    """A released node: sub-domain, noisy count, children."""
+
+    box: Box
+    count: float
+    children: list["HistogramNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    def iter_nodes(self) -> Iterator["HistogramNode"]:
+        """All nodes of the subtree, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+@dataclass
+class HistogramTree:
+    """A private spatial synopsis supporting range-count queries."""
+
+    root: HistogramNode
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes."""
+        return sum(1 for _ in self.root.iter_nodes())
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves."""
+        return sum(1 for n in self.root.iter_nodes() if n.is_leaf)
+
+    @property
+    def height(self) -> int:
+        """Number of levels minus one (root-only tree has height 0)."""
+
+        def depth_of(node: HistogramNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth_of(c) for c in node.children)
+
+        return depth_of(self.root)
+
+    @property
+    def total_count(self) -> float:
+        """The (noisy) total number of points."""
+        return self.root.count
+
+    def range_count(self, query: Box) -> float:
+        """Answer a range-count query via the §2.2 traversal."""
+        answer = 0.0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(query):
+                continue
+            if query.contains_box(node.box):
+                answer += node.count
+            elif node.is_leaf:
+                answer += node.count * node.box.overlap_fraction(query)
+            else:
+                stack.extend(node.children)
+        return answer
+
+    def leaf_boxes(self) -> list[Box]:
+        """The sub-domains of all leaves (the decomposition's cells)."""
+        return [n.box for n in self.root.iter_nodes() if n.is_leaf]
+
+    def to_grid(self, shape: tuple[int, ...]) -> "np.ndarray":
+        """Rasterize the synopsis onto a regular grid of the given shape.
+
+        Each cell receives every overlapping leaf's count weighted by the
+        overlapped volume fraction (the same uniformity assumption as
+        :meth:`range_count`), so the raster's total equals the tree's total.
+        Useful for handing the release to grid-based downstream tools.
+        """
+        import numpy as np
+
+        if len(shape) != self.root.box.ndim:
+            raise ValueError(
+                f"shape has {len(shape)} axes but the tree is "
+                f"{self.root.box.ndim}-d"
+            )
+        if any(s < 1 for s in shape):
+            raise ValueError(f"grid shape {shape} has an empty axis")
+        domain = self.root.box
+        grid = np.zeros(shape)
+        edges = [
+            np.linspace(domain.low[d], domain.high[d], shape[d] + 1)
+            for d in range(domain.ndim)
+        ]
+        for leaf in (n for n in self.root.iter_nodes() if n.is_leaf):
+            slices, weights = [], []
+            for d in range(domain.ndim):
+                lo, hi = leaf.box.low[d], leaf.box.high[d]
+                first = max(int(np.searchsorted(edges[d], lo, side="right")) - 1, 0)
+                last = min(int(np.searchsorted(edges[d], hi, side="left")), shape[d])
+                if last <= first:
+                    slices = []
+                    break
+                cell_lo = edges[d][first:last]
+                cell_hi = edges[d][first + 1 : last + 1]
+                overlap = np.minimum(cell_hi, hi) - np.maximum(cell_lo, lo)
+                weights.append(overlap / (hi - lo))
+                slices.append(slice(first, last))
+            if not slices:
+                continue
+            block = weights[0]
+            for w in weights[1:]:
+                block = np.multiply.outer(block, w)
+            grid[tuple(slices)] += leaf.count * block
+        return grid

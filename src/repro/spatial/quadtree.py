@@ -1,0 +1,156 @@
+"""Private spatial decompositions: PrivTree and SimpleTree end-to-end.
+
+``privtree_histogram`` is the full §3.3 + §3.4 pipeline:
+
+1. spend ε·tree_fraction on the PrivTree structure (Algorithm 2);
+2. spend the rest on Laplace-perturbed leaf counts (sensitivity 1: each point
+   lies in exactly one leaf);
+3. rebuild intermediate counts as sums of their leaves.
+
+``simpletree_histogram`` is the Algorithm 1 baseline: the per-node noisy
+counts it computed *are* the release (scale ``h/ε``).
+"""
+
+from __future__ import annotations
+
+from ..core.node import TreeNode
+from ..core.params import PrivTreeParams
+from ..core.privtree import DEFAULT_MAX_DEPTH, privtree
+from ..core.simpletree import simpletree_for_epsilon
+from ..mechanisms.accountant import PrivacyAccountant
+from ..mechanisms.geometric import geometric_noise
+from ..mechanisms.laplace import laplace_noise
+from ..mechanisms.rng import RngLike, ensure_rng
+from .dataset import SpatialDataset
+from .histogram_tree import HistogramNode, HistogramTree
+from .payload import SpatialNodeData
+
+__all__ = ["privtree_histogram", "privtree_decomposition", "simpletree_histogram"]
+
+
+def privtree_decomposition(
+    dataset: SpatialDataset,
+    epsilon: float,
+    dims_per_split: int | None = None,
+    theta: float = 0.0,
+    rng: RngLike = None,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+):
+    """Run PrivTree on spatial data, spending all of ``epsilon`` on structure.
+
+    Returns the internal decomposition tree (no counts released).  Useful
+    when the caller wants the partition itself, e.g. for private k-means
+    coarsening; most users want :func:`privtree_histogram` instead.
+    """
+    root = SpatialNodeData.root(dataset, dims_per_split)
+    params = PrivTreeParams.calibrate(epsilon, fanout=root.fanout, theta=theta)
+    return privtree(root, params, rng=rng, max_depth=max_depth)
+
+
+def privtree_histogram(
+    dataset: SpatialDataset,
+    epsilon: float,
+    dims_per_split: int | None = None,
+    theta: float = 0.0,
+    tree_fraction: float = 0.5,
+    tuples_per_individual: int = 1,
+    count_mechanism: str = "laplace",
+    rng: RngLike = None,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+) -> HistogramTree:
+    """The full ε-DP PrivTree synopsis of §3.3–§3.4.
+
+    Parameters
+    ----------
+    dataset:
+        The sensitive point set.
+    epsilon:
+        Total privacy budget; split ``tree_fraction`` / ``1 - tree_fraction``
+        between structure and leaf counts (½/½ in the paper).
+    dims_per_split:
+        Dimensions bisected per split (fanout β = 2^dims_per_split); defaults
+        to all dimensions — the standard quadtree setting.
+    theta:
+        Split threshold (0 per §3.4).
+    tuples_per_individual:
+        The §3.5 multi-leaf extension for user-level privacy: if one
+        individual can contribute up to ``x`` points (e.g. trajectory
+        check-ins), both the split scores and the leaf counts scale their
+        noise by ``x``, protecting the individual's whole record.
+    count_mechanism:
+        ``"laplace"`` (the paper's choice) or ``"geometric"`` — the latter
+        releases *integer* leaf counts via the two-sided geometric
+        mechanism at the same ε.
+    """
+    if tuples_per_individual < 1:
+        raise ValueError(
+            f"tuples_per_individual must be >= 1, got {tuples_per_individual!r}"
+        )
+    if count_mechanism not in ("laplace", "geometric"):
+        raise ValueError(
+            f"count_mechanism must be 'laplace' or 'geometric', got {count_mechanism!r}"
+        )
+    gen = ensure_rng(rng)
+    accountant = PrivacyAccountant(epsilon)
+    eps_tree = accountant.spend_fraction(tree_fraction, "tree structure")
+    eps_counts = accountant.spend_fraction(1.0 - tree_fraction, "leaf counts")
+
+    root = SpatialNodeData.root(dataset, dims_per_split)
+    params = PrivTreeParams.calibrate(
+        eps_tree,
+        fanout=root.fanout,
+        sensitivity=float(tuples_per_individual),
+        theta=theta,
+    )
+    tree = privtree(root, params, rng=gen, max_depth=max_depth)
+
+    # Leaf-count sensitivity: an individual's x points land in at most x leaves.
+    if count_mechanism == "laplace":
+        count_scale = tuples_per_individual / eps_counts
+
+        def noisy_count(exact: float) -> float:
+            return exact + laplace_noise(count_scale, rng=gen)
+
+    else:
+
+        def noisy_count(exact: float) -> float:
+            return float(
+                int(exact)
+                + geometric_noise(
+                    eps_counts, sensitivity=float(tuples_per_individual), rng=gen
+                )
+            )
+
+    def release(node: TreeNode[SpatialNodeData]) -> HistogramNode:
+        if node.is_leaf:
+            return HistogramNode(
+                box=node.payload.box, count=noisy_count(node.payload.score())
+            )
+        children = [release(c) for c in node.children]
+        total = sum(c.count for c in children)
+        return HistogramNode(box=node.payload.box, count=total, children=children)
+
+    return HistogramTree(root=release(tree.root))
+
+
+def simpletree_histogram(
+    dataset: SpatialDataset,
+    epsilon: float,
+    height: int,
+    theta: float,
+    dims_per_split: int | None = None,
+    rng: RngLike = None,
+) -> HistogramTree:
+    """The Algorithm 1 baseline synopsis with noise scale ``h/ε``."""
+    root = SpatialNodeData.root(dataset, dims_per_split)
+    tree = simpletree_for_epsilon(root, epsilon, theta=theta, height=height, rng=rng)
+
+    def release(node: TreeNode[SpatialNodeData]) -> HistogramNode:
+        children = [release(c) for c in node.children]
+        return HistogramNode(
+            box=node.payload.box,
+            count=float(node.noisy_score),
+            children=children,
+        )
+
+    return HistogramTree(root=release(tree.root))

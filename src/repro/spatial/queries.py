@@ -1,0 +1,73 @@
+"""Range-count query workloads (Section 6.1).
+
+The paper evaluates three workloads per dataset — *small*, *medium*, *large*
+— whose query regions cover [0.01%, 0.1%), [0.1%, 1%) and [1%, 10%) of the
+data domain respectively.  :func:`generate_workload` reproduces that: each
+query is a box of random volume fraction in the band, random aspect ratio,
+placed uniformly inside the domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..domains.box import Box
+from ..mechanisms.rng import RngLike, ensure_rng
+
+__all__ = ["QUERY_BANDS", "QueryBand", "generate_workload", "random_query"]
+
+
+@dataclass(frozen=True)
+class QueryBand:
+    """A named band of query-region volume fractions ``[lo, hi)``."""
+
+    name: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lo < self.hi <= 1:
+            raise ValueError(f"invalid band [{self.lo}, {self.hi})")
+
+
+#: The paper's three workload bands.
+QUERY_BANDS: dict[str, QueryBand] = {
+    "small": QueryBand("small", 1e-4, 1e-3),
+    "medium": QueryBand("medium", 1e-3, 1e-2),
+    "large": QueryBand("large", 1e-2, 1e-1),
+}
+
+
+def random_query(domain: Box, band: QueryBand, rng: RngLike = None) -> Box:
+    """One random range-count query covering a ``band`` fraction of ``domain``.
+
+    The volume fraction is log-uniform in the band; the per-dimension side
+    fractions are split with a random Dirichlet weighting so queries have
+    varied aspect ratios; the position is uniform among feasible placements.
+    """
+    gen = ensure_rng(rng)
+    d = domain.ndim
+    log_fraction = gen.uniform(np.log(band.lo), np.log(band.hi))
+    # Split log f across dimensions: side_i = f^{w_i}, sum(w) = 1, each
+    # side fraction capped at 1 by construction since log f < 0 and w_i >= 0.
+    weights = gen.dirichlet(np.ones(d))
+    side_fractions = np.exp(weights * log_fraction)
+    extents = np.asarray(domain.extents)
+    sides = side_fractions * extents
+    lows = np.asarray(domain.low) + gen.uniform(0.0, 1.0, size=d) * (extents - sides)
+    return Box.from_arrays(lows, lows + sides)
+
+
+def generate_workload(
+    domain: Box,
+    band: QueryBand | str,
+    n_queries: int,
+    rng: RngLike = None,
+) -> list[Box]:
+    """A workload of ``n_queries`` random queries in the given band."""
+    if isinstance(band, str):
+        band = QUERY_BANDS[band]
+    gen = ensure_rng(rng)
+    return [random_query(domain, band, gen) for _ in range(n_queries)]

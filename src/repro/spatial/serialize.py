@@ -1,0 +1,66 @@
+"""Serialization of released spatial synopses.
+
+A private synopsis is the artifact a curator actually *publishes*, so it
+must survive a round-trip to disk.  The JSON schema is deliberately plain —
+boxes and counts, no library internals — so third-party consumers can parse
+it without this package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..domains.box import Box
+from .histogram_tree import HistogramNode, HistogramTree
+
+__all__ = ["tree_to_dict", "tree_from_dict", "save_tree", "load_tree"]
+
+_FORMAT = "repro.histogram_tree"
+_VERSION = 1
+
+
+def _node_to_dict(node: HistogramNode) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "low": list(node.box.low),
+        "high": list(node.box.high),
+        "count": node.count,
+    }
+    if node.children:
+        out["children"] = [_node_to_dict(c) for c in node.children]
+    return out
+
+
+def _node_from_dict(data: dict[str, Any]) -> HistogramNode:
+    box = Box(tuple(data["low"]), tuple(data["high"]))
+    children = [_node_from_dict(c) for c in data.get("children", [])]
+    return HistogramNode(box=box, count=float(data["count"]), children=children)
+
+
+def tree_to_dict(tree: HistogramTree) -> dict[str, Any]:
+    """Plain-JSON representation of a released histogram tree."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(data: dict[str, Any]) -> HistogramTree:
+    """Inverse of :func:`tree_to_dict` (validates the header)."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a histogram-tree document: {data.get('format')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    return HistogramTree(root=_node_from_dict(data["root"]))
+
+
+def save_tree(tree: HistogramTree, path: str | Path) -> None:
+    """Write a synopsis to a JSON file."""
+    Path(path).write_text(json.dumps(tree_to_dict(tree)))
+
+
+def load_tree(path: str | Path) -> HistogramTree:
+    """Read a synopsis back from a JSON file."""
+    return tree_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,20 @@
+"""Sparse vector techniques and the paper's negative results (Section 5)."""
+
+from .algorithms import binary_svt, improved_svt, reduced_svt, vanilla_svt
+from .attack import (
+    binary_svt_log_ratio,
+    improved_svt_log_ratio_bound,
+    vanilla_svt_log_ratio,
+)
+from .decomposition import binary_svt_decomposition
+
+__all__ = [
+    "binary_svt",
+    "binary_svt_decomposition",
+    "binary_svt_log_ratio",
+    "improved_svt",
+    "improved_svt_log_ratio_bound",
+    "reduced_svt",
+    "vanilla_svt",
+    "vanilla_svt_log_ratio",
+]

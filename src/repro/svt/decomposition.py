@@ -1,0 +1,63 @@
+"""The Section 5 thought experiment: a quadtree built on the binary SVT.
+
+The paper observes that *if* the binary SVT's claimed guarantee held, it
+would beat PrivTree for spatial decomposition: initialize a queue with the
+root's count query, pop queries one by one through the SVT, and split every
+node whose indicator comes back 1.  Lemma 5.1 shows the premise is false —
+the construction is **not** ε-differentially private at the claimed noise
+scale — so this implementation exists purely to reproduce the comparison
+and must never be used to release data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..mechanisms.laplace import laplace_noise
+from ..mechanisms.rng import RngLike, ensure_rng
+from ..spatial.dataset import SpatialDataset
+from ..spatial.histogram_tree import HistogramNode, HistogramTree
+from ..spatial.payload import SpatialNodeData
+
+__all__ = ["binary_svt_decomposition"]
+
+
+def binary_svt_decomposition(
+    dataset: SpatialDataset,
+    epsilon: float,
+    theta: float,
+    dims_per_split: int | None = None,
+    max_depth: int = 24,
+    rng: RngLike = None,
+) -> HistogramTree:
+    """Build a quadtree with the (broken) binary-SVT split rule.
+
+    Uses ``lam = 2/epsilon`` — the scale Claim 1 asserts is sufficient.
+    **Warning:** by Lemma 5.1 this procedure does *not* satisfy
+    ε-differential privacy; it is provided to reproduce the paper's
+    analysis only.  Counts attached to the returned tree are the exact
+    counts (the structure itself is the privacy-relevant release here).
+    """
+    if not epsilon > 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+    gen = ensure_rng(rng)
+    lam = 2.0 / epsilon
+    noisy_theta = theta + laplace_noise(lam, rng=gen)
+
+    root_payload = SpatialNodeData.root(dataset, dims_per_split)
+    root = HistogramNode(box=root_payload.box, count=root_payload.score())
+    queue: deque[tuple[HistogramNode, SpatialNodeData, int]] = deque(
+        [(root, root_payload, 0)]
+    )
+    while queue:
+        node, payload, depth = queue.popleft()
+        noisy = payload.score() + laplace_noise(lam, rng=gen)
+        if noisy <= noisy_theta or depth >= max_depth or not payload.can_split():
+            continue
+        for child_payload in payload.split():
+            child = HistogramNode(
+                box=child_payload.box, count=child_payload.score()
+            )
+            node.children.append(child)
+            queue.append((child, child_payload, depth + 1))
+    return HistogramTree(root=root)

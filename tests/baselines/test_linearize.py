@@ -1,0 +1,78 @@
+"""Tests for Hilbert / Morton linearizations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import hilbert_order_2d, linear_order, morton_order
+
+
+def locality_score(order: np.ndarray, m: int, ndim: int) -> float:
+    """Mean spatial (L1) distance between consecutive cells along the curve."""
+    coords = np.stack(np.unravel_index(order, (m,) * ndim), axis=1)
+    diffs = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+    return float(diffs.mean())
+
+
+class TestHilbert:
+    def test_is_permutation(self):
+        order = hilbert_order_2d(8)
+        assert sorted(order) == list(range(64))
+
+    def test_consecutive_cells_adjacent(self):
+        # The defining property of the Hilbert curve: every step moves to a
+        # 4-neighbour cell.
+        order = hilbert_order_2d(16)
+        assert locality_score(order, 16, 2) == pytest.approx(1.0)
+
+    def test_trivial_grid(self):
+        assert list(hilbert_order_2d(1)) == [0]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_order_2d(6)
+
+
+class TestMorton:
+    def test_is_permutation_2d(self):
+        order = morton_order(8, 2)
+        assert sorted(order) == list(range(64))
+
+    def test_is_permutation_4d(self):
+        order = morton_order(4, 4)
+        assert sorted(order) == list(range(256))
+
+    def test_first_block_is_local(self):
+        # The first 4 cells of a 2-d Morton order form the corner 2x2 block.
+        order = morton_order(8, 2)
+        coords = np.stack(np.unravel_index(order[:4], (8, 8)), axis=1)
+        assert coords.max() <= 1
+
+    def test_better_window_locality_than_row_major(self):
+        # Mean consecutive-step distance ties with row-major, but any window
+        # of 16 consecutive Morton cells stays inside a 4x4 block, whereas
+        # row-major windows span a whole row.
+        m = 16
+
+        def window_spread(order: np.ndarray) -> float:
+            coords = np.stack(np.unravel_index(order, (m, m)), axis=1)
+            spreads = []
+            for start in range(0, m * m, 16):
+                block = coords[start : start + 16]
+                spreads.append((block.max(axis=0) - block.min(axis=0)).sum())
+            return float(np.mean(spreads))
+
+        assert window_spread(morton_order(m, 2)) < window_spread(np.arange(m * m))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            morton_order(6, 2)
+        with pytest.raises(ValueError):
+            morton_order(8, 0)
+
+
+class TestLinearOrder:
+    def test_dispatches_hilbert_for_2d(self):
+        np.testing.assert_array_equal(linear_order(8, 2), hilbert_order_2d(8))
+
+    def test_dispatches_morton_for_4d(self):
+        np.testing.assert_array_equal(linear_order(4, 4), morton_order(4, 4))

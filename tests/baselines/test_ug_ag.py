@@ -1,0 +1,136 @@
+"""Tests for the UG and AG grid baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import ag_histogram, ug_cells_per_dim, ug_histogram
+from repro.baselines.ag import ag_level1_cells_per_dim, ag_level2_cells_per_dim
+from repro.domains import Box
+from repro.spatial import SpatialDataset, average_relative_error, generate_workload
+
+
+class TestUgGranularity:
+    def test_paper_formula_2d(self):
+        # m = (n*eps/10)^(2/(d+2)) = (n*eps/10)^(1/2) for d = 2.
+        n, eps = 100_000, 1.0
+        assert ug_cells_per_dim(n, 2, eps) == math.ceil((n * eps / 10) ** 0.5)
+
+    def test_paper_formula_4d(self):
+        n, eps = 100_000, 0.5
+        assert ug_cells_per_dim(n, 4, eps) == math.ceil((n * eps / 10) ** (1.0 / 3.0))
+
+    def test_size_factor_scales_total_cells(self):
+        base = ug_cells_per_dim(100_000, 2, 1.0)
+        bigger = ug_cells_per_dim(100_000, 2, 1.0, size_factor=9.0)
+        assert bigger == math.ceil(3.0 * ((100_000 * 1.0 / 10) ** 0.5))
+        assert bigger > base
+
+    def test_minimum_one_cell(self):
+        assert ug_cells_per_dim(0, 2, 0.05) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ug_cells_per_dim(10, 2, 0.0)
+        with pytest.raises(ValueError):
+            ug_cells_per_dim(-1, 2, 1.0)
+        with pytest.raises(ValueError):
+            ug_cells_per_dim(10, 2, 1.0, size_factor=0.0)
+
+
+class TestUgHistogram:
+    def test_grid_shape(self, uniform_2d):
+        grid = ug_histogram(uniform_2d, epsilon=1.0, rng=0)
+        m = ug_cells_per_dim(uniform_2d.n, 2, 1.0)
+        assert grid.shape == (m, m)
+
+    def test_total_near_n(self, uniform_2d):
+        grid = ug_histogram(uniform_2d, epsilon=1.0, rng=0)
+        assert grid.counts.sum() == pytest.approx(uniform_2d.n, rel=0.10)
+
+    def test_reasonable_accuracy_on_uniform(self, uniform_2d):
+        grid = ug_histogram(uniform_2d, epsilon=1.0, rng=1)
+        queries = generate_workload(uniform_2d.domain, "large", 40, rng=2)
+        err = average_relative_error(grid.range_count, uniform_2d, queries)
+        assert err < 0.2
+
+
+class TestAgGranularity:
+    def test_level1_quarter_of_ug(self):
+        n, eps = 1_000_000, 1.0
+        expected = math.ceil(math.sqrt(n * eps / 10.0) / 4.0)
+        assert ag_level1_cells_per_dim(n, eps) == expected
+
+    def test_level1_floor_of_ten(self):
+        assert ag_level1_cells_per_dim(10, 0.05) == 10
+
+    def test_level2_grows_with_count(self):
+        assert ag_level2_cells_per_dim(10_000, 1.0) > ag_level2_cells_per_dim(100, 1.0)
+
+    def test_level2_nonpositive_count(self):
+        assert ag_level2_cells_per_dim(-5.0, 1.0) == 1
+
+
+class TestAgHistogram:
+    def test_rejects_non_2d(self):
+        pts = np.zeros((10, 3))
+        data = SpatialDataset(pts, Box((0.0,) * 3, (1.0,) * 3))
+        with pytest.raises(ValueError):
+            ag_histogram(data, epsilon=1.0, rng=0)
+
+    def test_dense_cells_get_refined(self, clustered_2d):
+        ag = ag_histogram(clustered_2d, epsilon=1.0, rng=0)
+        assert len(ag.subgrids) > 0
+        # The cluster sits near (0.25, 0.25); at least one subgrid should
+        # cover that area.
+        covering = [
+            g for g in ag.subgrids.values()
+            if g.domain.contains_points(np.array([[0.25, 0.25]]))[0]
+        ]
+        assert covering
+
+    def test_subgrid_consistency_with_parent(self, clustered_2d):
+        # After mean consistency each subgrid total is a blend of parent and
+        # children noisy counts -> it must lie between the two raw values or
+        # at least be finite and close to the exact count at high epsilon.
+        ag = ag_histogram(clustered_2d, epsilon=10.0, rng=0)
+        for (i, j), sub in ag.subgrids.items():
+            exact = clustered_2d.count_in(ag.level1.cell_box((i, j)))
+            assert sub.counts.sum() == pytest.approx(exact, abs=60.0)
+
+    def test_range_count_total(self, clustered_2d):
+        ag = ag_histogram(clustered_2d, epsilon=2.0, rng=1)
+        assert ag.range_count(clustered_2d.domain) == pytest.approx(
+            clustered_2d.n, rel=0.15
+        )
+
+    def test_beats_ug_on_skewed_data(self, clustered_2d):
+        # The consistent finding of Qardaji et al. reproduced in miniature.
+        queries = generate_workload(clustered_2d.domain, "small", 60, rng=5)
+        eps = 0.4
+        ag_err = np.mean(
+            [
+                average_relative_error(
+                    ag_histogram(clustered_2d, eps, rng=s).range_count,
+                    clustered_2d,
+                    queries,
+                )
+                for s in range(5)
+            ]
+        )
+        ug_err = np.mean(
+            [
+                average_relative_error(
+                    ug_histogram(clustered_2d, eps, rng=s).range_count,
+                    clustered_2d,
+                    queries,
+                )
+                for s in range(5)
+            ]
+        )
+        assert ag_err < ug_err
+
+    def test_invalid_alpha(self, clustered_2d):
+        with pytest.raises(ValueError):
+            ag_histogram(clustered_2d, epsilon=1.0, alpha=0.0)

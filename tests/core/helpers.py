@@ -1,0 +1,36 @@
+"""A minimal 1-d payload used to unit-test the decomposition engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class IntervalPayload:
+    """Points on a half-open interval; splits bisect and partition them."""
+
+    lo: float
+    hi: float
+    values: np.ndarray
+
+    @staticmethod
+    def over_unit(values) -> "IntervalPayload":
+        return IntervalPayload(0.0, 1.0, np.asarray(values, dtype=float))
+
+    def score(self) -> float:
+        return float(len(self.values))
+
+    def can_split(self) -> bool:
+        mid = (self.lo + self.hi) / 2.0
+        return self.lo < mid < self.hi
+
+    def split(self) -> list["IntervalPayload"]:
+        mid = (self.lo + self.hi) / 2.0
+        left = self.values[self.values < mid]
+        right = self.values[self.values >= mid]
+        return [
+            IntervalPayload(self.lo, mid, left),
+            IntervalPayload(mid, self.hi, right),
+        ]

@@ -1,0 +1,93 @@
+"""Engine tests with non-binary and variable-fanout payloads.
+
+The spatial tests exercise fanout 2/4/16 payloads; here the engine runs
+over a taxonomy-backed payload whose fanout varies per node, the setting
+the §3.5 calibration (β = max fanout) is designed for.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core import PrivTreeParams, privtree
+from repro.domains import Taxonomy, TaxonomyDomain
+
+
+@dataclass
+class CategoryPayload:
+    """Categorical values decomposed along a taxonomy."""
+
+    domain: TaxonomyDomain
+    values: list[str]
+
+    def score(self) -> float:
+        return float(len(self.values))
+
+    def can_split(self) -> bool:
+        return self.domain.can_split()
+
+    def split(self) -> list["CategoryPayload"]:
+        children = self.domain.split()
+        return [
+            CategoryPayload(
+                domain=child,
+                values=[v for v in self.values if child.contains(v)],
+            )
+            for child in children
+        ]
+
+
+@pytest.fixture
+def taxonomy() -> Taxonomy:
+    return Taxonomy.from_dict(
+        "root",
+        {
+            "root": ["left", "mid", "right"],  # fanout 3 at the root
+            "left": ["l1", "l2"],  # fanout 2 below
+            "right": ["r1", "r2", "r3", "r4"],  # fanout 4 below
+        },
+    )
+
+
+class TestVariableFanout:
+    def test_decomposes_with_max_fanout_calibration(self, taxonomy):
+        gen = np.random.default_rng(0)
+        values = list(gen.choice(["l1", "l2", "mid", "r1", "r2", "r3", "r4"], 5000))
+        root = CategoryPayload(TaxonomyDomain(taxonomy, "root"), values)
+        params = PrivTreeParams.calibrate(2.0, fanout=taxonomy.max_fanout())
+        tree = privtree(root, params, rng=0)
+        assert tree.size >= 1
+        for node in tree.root.iter_nodes():
+            assert len(node.children) in (0, 2, 3, 4)
+
+    def test_partitioning_conserved_across_fanouts(self, taxonomy):
+        gen = np.random.default_rng(1)
+        values = list(gen.choice(["l1", "l2", "mid", "r1", "r2", "r3", "r4"], 3000))
+        root = CategoryPayload(TaxonomyDomain(taxonomy, "root"), values)
+        params = PrivTreeParams.calibrate(4.0, fanout=4)
+        tree = privtree(root, params, rng=1)
+        for node in tree.root.iter_nodes():
+            if node.children:
+                child_total = sum(c.payload.score() for c in node.children)
+                assert child_total == node.payload.score()
+
+    def test_leaves_stop_at_taxonomy_leaves(self, taxonomy):
+        values = ["r1"] * 10_000  # heavy mass on one leaf category
+        root = CategoryPayload(TaxonomyDomain(taxonomy, "root"), values)
+        params = PrivTreeParams.calibrate(2.0, fanout=4)
+        tree = privtree(root, params, rng=2)
+        # No node can be deeper than the taxonomy (depth 2), however heavy.
+        assert tree.height <= 2
+
+    def test_skewed_category_refined(self, taxonomy):
+        gen = np.random.default_rng(3)
+        values = ["r1"] * 5000 + list(gen.choice(["l1", "mid"], 50))
+        root = CategoryPayload(TaxonomyDomain(taxonomy, "root"), values)
+        params = PrivTreeParams.calibrate(2.0, fanout=4)
+        tree = privtree(root, params, rng=3)
+        labels = {
+            node.payload.domain.label
+            for node in tree.root.iter_nodes()
+        }
+        assert "r1" in labels  # the heavy branch was expanded to its leaf

@@ -1,0 +1,56 @@
+"""Tests for tree-node containers."""
+
+from repro.core import DecompositionTree, TreeNode
+
+
+def chain(depth: int) -> TreeNode:
+    """A single path of the given depth."""
+    root = TreeNode(payload=None, depth=0)
+    node = root
+    for d in range(1, depth + 1):
+        child = TreeNode(payload=None, depth=d)
+        node.children = [child]
+        node = child
+    return root
+
+
+class TestTreeNode:
+    def test_leaf_detection(self):
+        assert TreeNode(payload=None, depth=0).is_leaf
+        assert not chain(1).is_leaf
+
+    def test_iter_nodes_preorder(self):
+        root = TreeNode(payload="r", depth=0)
+        a = TreeNode(payload="a", depth=1)
+        b = TreeNode(payload="b", depth=1)
+        a1 = TreeNode(payload="a1", depth=2)
+        a.children = [a1]
+        root.children = [a, b]
+        order = [n.payload for n in root.iter_nodes()]
+        assert order == ["r", "a", "a1", "b"]
+
+    def test_iter_leaves(self):
+        root = TreeNode(payload="r", depth=0)
+        a = TreeNode(payload="a", depth=1)
+        b = TreeNode(payload="b", depth=1)
+        root.children = [a, b]
+        assert [n.payload for n in root.iter_leaves()] == ["a", "b"]
+
+
+class TestDecompositionTree:
+    def test_size_leafcount_height_singleton(self):
+        tree = DecompositionTree(root=TreeNode(payload=None, depth=0))
+        assert tree.size == 1
+        assert tree.leaf_count == 1
+        assert tree.height == 0
+
+    def test_size_leafcount_height_chain(self):
+        tree = DecompositionTree(root=chain(5))
+        assert tree.size == 6
+        assert tree.leaf_count == 1
+        assert tree.height == 5
+
+    def test_nodes_and_leaves_lists(self):
+        tree = DecompositionTree(root=chain(2))
+        assert len(tree.nodes()) == 3
+        assert len(tree.leaves()) == 1

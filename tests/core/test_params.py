@@ -1,0 +1,49 @@
+"""Tests for PrivTree parameter calibration."""
+
+import math
+
+import pytest
+
+from repro.core import PrivTreeParams
+
+
+class TestCalibrate:
+    def test_quadtree_defaults(self):
+        p = PrivTreeParams.calibrate(epsilon=1.0, fanout=4)
+        assert p.lam == pytest.approx(7.0 / 3.0)
+        assert p.delta == pytest.approx(p.lam * math.log(4))
+        assert p.theta == 0.0
+        assert p.fanout == 4
+
+    def test_sensitivity_scales_lambda_and_delta(self):
+        base = PrivTreeParams.calibrate(1.0, 4)
+        scaled = PrivTreeParams.calibrate(1.0, 4, sensitivity=20.0)
+        assert scaled.lam == pytest.approx(20.0 * base.lam)
+        assert scaled.delta == pytest.approx(20.0 * base.delta)
+
+    def test_gamma_property(self):
+        p = PrivTreeParams.calibrate(0.8, 16)
+        assert p.gamma == pytest.approx(math.log(16))
+
+    def test_floor(self):
+        p = PrivTreeParams.calibrate(1.0, 4, theta=5.0)
+        assert p.floor() == pytest.approx(5.0 - p.delta)
+
+    def test_split_probability_at_floor(self):
+        p = PrivTreeParams.calibrate(1.0, 4)
+        assert p.split_probability_at_floor() == pytest.approx(1.0 / 8.0)
+
+    def test_epsilon_smaller_means_more_noise(self):
+        lo = PrivTreeParams.calibrate(0.05, 4)
+        hi = PrivTreeParams.calibrate(1.6, 4)
+        assert lo.lam > hi.lam
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivTreeParams(lam=0.0, delta=1.0)
+        with pytest.raises(ValueError):
+            PrivTreeParams(lam=1.0, delta=0.0)
+        with pytest.raises(ValueError):
+            PrivTreeParams(lam=1.0, delta=1.0, fanout=1)
+        with pytest.raises(ValueError):
+            PrivTreeParams.calibrate(1.0, 4, sensitivity=0.0)

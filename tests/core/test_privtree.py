@@ -1,0 +1,118 @@
+"""Tests for the PrivTree engine (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecompositionTree, PrivTreeParams, privtree
+from repro.core.privtree import MaxDepthWarning
+
+from .helpers import IntervalPayload
+
+
+def near_noiseless_params(theta: float = 0.0) -> PrivTreeParams:
+    """Tiny noise and tiny decay: split decisions approach `count > theta`."""
+    return PrivTreeParams(lam=1e-9, delta=1e-9, theta=theta, fanout=2)
+
+
+class TestEngine:
+    def test_empty_data_often_single_node(self):
+        # With c = 0 and theta = 0 the root biased count is 0, so the root
+        # splits with probability 1/2 under symmetric noise; sizes stay small.
+        params = PrivTreeParams.calibrate(1.0, fanout=2)
+        sizes = []
+        for seed in range(200):
+            tree = privtree(IntervalPayload.over_unit([]), params, rng=seed)
+            sizes.append(tree.size)
+        assert min(sizes) == 1
+        assert np.mean(sizes) < 6.0
+
+    def test_near_noiseless_matches_threshold_rule(self):
+        # 10 points in [0, .5), 3 in [.5, 1): with theta = 5, only the root
+        # and the left child exceed the threshold; the left child's children
+        # hold 10 and 0 points -> exactly one more split below it.
+        values = np.concatenate([np.full(10, 0.3), np.full(3, 0.7)])
+        tree = privtree(
+            IntervalPayload.over_unit(values), near_noiseless_params(theta=5.0), rng=0
+        )
+        # root splits (13 > 5); left child (10 > 5) splits; right (3) doesn't;
+        # grandchildren: [0.25,0.375)=0... values all at 0.3 -> child [0.25,0.5)
+        # has 10 and keeps splitting toward max depth... use max_depth to stop.
+        assert not tree.root.is_leaf
+        left, right = tree.root.children
+        assert not left.is_leaf
+        assert right.is_leaf
+
+    def test_duplicate_heavy_data_terminates_without_guard(self):
+        # All points identical: the decaying bias must eventually stop the
+        # splitting despite the count never decreasing (§3.4 convergence).
+        values = np.full(1000, 0.123456)
+        params = PrivTreeParams.calibrate(1.0, fanout=2)
+        tree = privtree(IntervalPayload.over_unit(values), params, rng=3, max_depth=None)
+        assert tree.height < 64  # terminated on its own
+
+    def test_max_depth_guard_warns(self):
+        values = np.full(1000, 0.123456)
+        with pytest.warns(MaxDepthWarning):
+            privtree(
+                IntervalPayload.over_unit(values),
+                near_noiseless_params(theta=0.0),
+                rng=0,
+                max_depth=5,
+            )
+
+    def test_deterministic_given_seed(self):
+        values = np.random.default_rng(0).uniform(0, 1, 500)
+        params = PrivTreeParams.calibrate(0.5, fanout=2)
+        t1 = privtree(IntervalPayload.over_unit(values), params, rng=77)
+        t2 = privtree(IntervalPayload.over_unit(values), params, rng=77)
+        assert t1.size == t2.size
+        assert t1.height == t2.height
+
+    def test_returns_decomposition_tree(self):
+        params = PrivTreeParams.calibrate(1.0, fanout=2)
+        tree = privtree(IntervalPayload.over_unit([0.5]), params, rng=0)
+        assert isinstance(tree, DecompositionTree)
+
+    def test_scores_not_stored_on_nodes(self):
+        # Algorithm 2 line 11: released tree must not carry the noisy scores.
+        params = PrivTreeParams.calibrate(1.0, fanout=2)
+        values = np.random.default_rng(1).uniform(0, 1, 1000)
+        tree = privtree(IntervalPayload.over_unit(values), params, rng=1)
+        assert all(node.noisy_score is None for node in tree.root.iter_nodes())
+
+    def test_depths_increment(self):
+        params = PrivTreeParams.calibrate(1.0, fanout=2)
+        values = np.random.default_rng(2).uniform(0, 1, 2000)
+        tree = privtree(IntervalPayload.over_unit(values), params, rng=2)
+        for node in tree.root.iter_nodes():
+            for child in node.children:
+                assert child.depth == node.depth + 1
+
+    def test_point_partitioning_conserved(self):
+        params = PrivTreeParams.calibrate(1.0, fanout=2)
+        values = np.random.default_rng(3).uniform(0, 1, 3000)
+        tree = privtree(IntervalPayload.over_unit(values), params, rng=5)
+        for node in tree.root.iter_nodes():
+            if not node.is_leaf:
+                child_total = sum(c.payload.score() for c in node.children)
+                assert child_total == node.payload.score()
+
+    def test_unsplittable_payload_stays_leaf(self):
+        payload = IntervalPayload(0.0, 5e-324, np.array([0.0]))  # atomic interval
+        params = PrivTreeParams.calibrate(1.0, fanout=2)
+        tree = privtree(payload, params, rng=0)
+        assert tree.size == 1
+
+    def test_deeper_trees_with_larger_epsilon(self):
+        # More budget -> less noise and smaller decay -> finer decomposition
+        # on concentrated data (this is the Table 4 runtime intuition).
+        values = np.random.default_rng(4).normal(0.5, 0.01, 5000).clip(0, 0.999)
+        sizes = {}
+        for eps in (0.05, 1.6):
+            params = PrivTreeParams.calibrate(eps, fanout=2)
+            reps = [
+                privtree(IntervalPayload.over_unit(values), params, rng=s).size
+                for s in range(10)
+            ]
+            sizes[eps] = np.mean(reps)
+        assert sizes[1.6] > sizes[0.05]

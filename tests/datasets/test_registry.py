@@ -1,0 +1,54 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    SEQUENCE_DATASETS,
+    SPATIAL_DATASETS,
+    make_dataset,
+)
+from repro.sequence import SequenceDataset
+from repro.spatial import SpatialDataset
+
+
+class TestRegistry:
+    def test_paper_datasets_present(self):
+        assert set(SPATIAL_DATASETS) == {"road", "gowalla", "nyc", "beijing"}
+        assert set(SEQUENCE_DATASETS) == {"mooc", "msnbc"}
+
+    def test_paper_cardinalities_match_table_2(self):
+        assert SPATIAL_DATASETS["road"].paper_cardinality == 1_634_165
+        assert SPATIAL_DATASETS["gowalla"].paper_cardinality == 107_091
+        assert SPATIAL_DATASETS["nyc"].paper_cardinality == 98_013
+        assert SPATIAL_DATASETS["beijing"].paper_cardinality == 30_000
+
+    def test_paper_stats_match_table_3(self):
+        assert SEQUENCE_DATASETS["mooc"].l_top == 50
+        assert SEQUENCE_DATASETS["msnbc"].l_top == 20
+        assert SEQUENCE_DATASETS["mooc"].paper_average_length == 13.46
+        assert SEQUENCE_DATASETS["msnbc"].paper_average_length == 4.75
+
+    def test_make_spatial(self):
+        data = make_dataset("gowalla", n=1_000, rng=0)
+        assert isinstance(data, SpatialDataset)
+        assert data.n == 1_000
+
+    def test_make_sequence(self):
+        data = make_dataset("msnbc", n=500, rng=0)
+        assert isinstance(data, SequenceDataset)
+        assert data.n == 500
+
+    def test_default_cardinality_used(self):
+        spec = SPATIAL_DATASETS["beijing"]
+        data = spec.make(rng=0)
+        assert data.n == spec.default_cardinality
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("adult")
+
+    def test_dimensionalities(self):
+        assert SPATIAL_DATASETS["road"].dimensionality == 2
+        assert SPATIAL_DATASETS["nyc"].dimensionality == 4
+        assert SEQUENCE_DATASETS["mooc"].dimensionality == 7
+        assert SEQUENCE_DATASETS["msnbc"].dimensionality == 17

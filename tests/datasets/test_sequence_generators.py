@@ -1,0 +1,100 @@
+"""Tests for the synthetic sequence dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import markov_sequences, mooclike, msnbclike
+from repro.sequence import Alphabet
+
+
+class TestMarkovSequences:
+    def test_respects_lengths(self):
+        alpha = Alphabet.of_size(3)
+        gen = np.random.default_rng(0)
+        lengths = np.array([1, 2, 5, 3])
+        data = markov_sequences(
+            alpha,
+            4,
+            lengths,
+            initial=np.full(3, 1 / 3),
+            transition=np.full((3, 3), 1 / 3),
+            rng=gen,
+            name="t",
+        )
+        np.testing.assert_array_equal(data.lengths(), lengths)
+
+    def test_transition_structure_respected(self):
+        # A chain that can only cycle 0 -> 1 -> 2 -> 0.
+        alpha = Alphabet.of_size(3)
+        gen = np.random.default_rng(1)
+        transition = np.array(
+            [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]]
+        )
+        data = markov_sequences(
+            alpha,
+            50,
+            np.full(50, 6),
+            initial=np.array([1.0, 0.0, 0.0]),
+            transition=transition,
+            rng=gen,
+            name="cycle",
+        )
+        for seq in data.sequences:
+            np.testing.assert_array_equal(seq, [0, 1, 2, 0, 1, 2])
+
+    def test_shape_validation(self):
+        alpha = Alphabet.of_size(2)
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            markov_sequences(
+                alpha, 2, np.array([1, 1]), np.ones(3) / 3, np.ones((2, 2)) / 2, gen, "x"
+            )
+        with pytest.raises(ValueError):
+            markov_sequences(
+                alpha, 2, np.array([0, 1]), np.ones(2) / 2, np.ones((2, 2)) / 2, gen, "x"
+            )
+
+
+class TestMoocLike:
+    def test_table3_shape(self):
+        data = mooclike(10_000, rng=0)
+        assert data.alphabet.size == 7
+        assert data.average_length == pytest.approx(13.46, abs=2.0)
+
+    def test_l_top_50_truncates_a_few_percent(self):
+        data = mooclike(10_000, rng=1)
+        fraction = data.n_longer_than(50) / data.n
+        assert 0.0 < fraction < 0.05
+
+    def test_deterministic(self):
+        a = mooclike(500, rng=7)
+        b = mooclike(500, rng=7)
+        assert all(np.array_equal(x, y) for x, y in zip(a.sequences, b.sequences))
+
+
+class TestMsnbcLike:
+    def test_table3_shape(self):
+        data = msnbclike(20_000, rng=0)
+        assert data.alphabet.size == 17
+        assert data.average_length == pytest.approx(4.75, abs=1.5)
+
+    def test_many_single_page_sessions(self):
+        data = msnbclike(20_000, rng=0)
+        singles = (data.lengths() == 1).mean()
+        assert 0.3 < singles < 0.5
+
+    def test_l_top_20_truncates_a_few_percent(self):
+        data = msnbclike(20_000, rng=1)
+        fraction = data.n_longer_than(20) / data.n
+        assert 0.0 < fraction < 0.10
+
+    def test_markov_not_iid(self):
+        # The sticky chain makes symbol repeats far likelier than i.i.d.
+        data = msnbclike(20_000, rng=2)
+        repeats = 0
+        pairs = 0
+        for seq in data.sequences:
+            if len(seq) > 1:
+                repeats += int((seq[1:] == seq[:-1]).sum())
+                pairs += len(seq) - 1
+        assert repeats / pairs > 2.0 / 17

@@ -1,0 +1,107 @@
+"""Tests for the synthetic spatial dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniformGrid
+from repro.datasets import beijinglike, gowallalike, nyclike, roadlike
+
+
+def skew_ratio(dataset, cells: int = 16) -> float:
+    """Fraction of points in the densest 1% of grid cells — a skew proxy."""
+    shape = (cells,) * dataset.ndim
+    grid = UniformGrid.histogram(dataset, shape)
+    flat = np.sort(grid.counts.ravel())[::-1]
+    top = max(1, flat.size // 100)
+    return float(flat[:top].sum() / max(dataset.n, 1))
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "generator,ndim",
+        [(roadlike, 2), (gowallalike, 2), (nyclike, 4), (beijinglike, 4)],
+    )
+    def test_cardinality_and_dimensionality(self, generator, ndim):
+        data = generator(5_000, rng=0)
+        assert data.n == 5_000
+        assert data.ndim == ndim
+
+    @pytest.mark.parametrize(
+        "generator", [roadlike, gowallalike, nyclike, beijinglike]
+    )
+    def test_points_inside_unit_domain(self, generator):
+        data = generator(5_000, rng=1)
+        assert data.domain.contains_points(data.points).all()
+
+    @pytest.mark.parametrize(
+        "generator", [roadlike, gowallalike, nyclike, beijinglike]
+    )
+    def test_invalid_n(self, generator):
+        with pytest.raises(ValueError):
+            generator(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_points(self):
+        a = roadlike(2_000, rng=5)
+        b = roadlike(2_000, rng=5)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_different_seed_different_sample_same_world(self):
+        # Different samples, but drawn from the same fixed road network:
+        # their density profiles must agree far better than against a
+        # uniform sample.
+        a = roadlike(20_000, rng=1)
+        b = roadlike(20_000, rng=2)
+        grid_a = UniformGrid.histogram(a, (16, 16)).counts / a.n
+        grid_b = UniformGrid.histogram(b, (16, 16)).counts / b.n
+        uniform = np.full((16, 16), 1 / 256)
+        dist_ab = np.abs(grid_a - grid_b).sum()
+        dist_au = np.abs(grid_a - uniform).sum()
+        assert not np.array_equal(a.points, b.points)
+        assert dist_ab < dist_au / 3
+
+
+class TestSkewOrdering:
+    def test_road_skew_grows_faster_under_zoom(self):
+        # Road mass lies on 1-d filaments: refining the grid keeps exposing
+        # new concentration (that's what deep adaptive trees exploit), while
+        # blob-like city clusters saturate early.
+        road = roadlike(30_000, rng=0)
+        gowalla = gowallalike(30_000, rng=0)
+        road_growth = skew_ratio(road, cells=64) / skew_ratio(road, cells=16)
+        gowalla_growth = skew_ratio(gowalla, cells=64) / skew_ratio(
+            gowalla, cells=16
+        )
+        assert road_growth > gowalla_growth
+
+    def test_nyc_more_skewed_than_beijing(self):
+        assert skew_ratio(nyclike(20_000, rng=0), cells=8) > skew_ratio(
+            beijinglike(20_000, rng=0), cells=8
+        )
+
+    def test_road_strongly_nonuniform(self):
+        # At fine resolution the densest 1% of cells should hold far more
+        # than 1% of the points (filaments concentrate under zoom).
+        assert skew_ratio(roadlike(30_000, rng=3), cells=64) > 0.06
+
+
+class TestTripStructure:
+    def test_nyc_pickup_dropoff_correlated(self):
+        data = nyclike(20_000, rng=0)
+        pickup = data.points[:, :2]
+        dropoff = data.points[:, 2:]
+        # With same-cluster probability > 0.5, many trips stay local.
+        dists = np.linalg.norm(pickup - dropoff, axis=1)
+        assert np.median(dists) < 0.35
+
+    def test_beijing_less_correlated_than_nyc(self):
+        nyc = nyclike(20_000, rng=0)
+        beijing = beijinglike(20_000, rng=0)
+        nyc_med = np.median(
+            np.linalg.norm(nyc.points[:, :2] - nyc.points[:, 2:], axis=1)
+        )
+        beijing_med = np.median(
+            np.linalg.norm(beijing.points[:, :2] - beijing.points[:, 2:], axis=1)
+        )
+        assert nyc_med < beijing_med

@@ -1,0 +1,126 @@
+"""Tests for axis-aligned boxes."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+
+
+class TestConstruction:
+    def test_unit(self):
+        box = Box.unit(3)
+        assert box.ndim == 3
+        assert box.volume == pytest.approx(1.0)
+
+    def test_from_arrays(self):
+        box = Box.from_arrays(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        assert box.low == (0.0, 1.0)
+        assert box.high == (2.0, 3.0)
+
+    def test_bounding(self):
+        pts = np.array([[0.0, 0.0], [2.0, 4.0], [1.0, 1.0]])
+        box = Box.bounding(pts)
+        assert box.contains_points(pts).all()
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0.0,), (0.0,))
+        with pytest.raises(ValueError):
+            Box((0.0, 0.0), (1.0,))
+        with pytest.raises(ValueError):
+            Box((), ())
+
+
+class TestGeometry:
+    def test_volume_and_extents(self):
+        box = Box((0.0, 0.0), (2.0, 3.0))
+        assert box.volume == pytest.approx(6.0)
+        assert box.extents == (2.0, 3.0)
+        assert box.center == (1.0, 1.5)
+
+    def test_contains_points_half_open(self):
+        box = Box((0.0,), (1.0,))
+        pts = np.array([[0.0], [0.5], [1.0]])
+        np.testing.assert_array_equal(box.contains_points(pts), [True, True, False])
+
+    def test_count_points(self):
+        box = Box((0.0, 0.0), (0.5, 0.5))
+        pts = np.array([[0.1, 0.1], [0.6, 0.1], [0.4, 0.4]])
+        assert box.count_points(pts) == 2
+
+    def test_contains_box(self):
+        outer = Box.unit(2)
+        inner = Box((0.2, 0.2), (0.8, 0.8))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(outer)
+
+    def test_intersects_and_intersection(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((0.5, 0.5), (1.5, 1.5))
+        assert a.intersects(b)
+        inter = a.intersection(b)
+        assert inter.low == (0.5, 0.5)
+        assert inter.high == (1.0, 1.0)
+
+    def test_touching_boxes_do_not_intersect(self):
+        a = Box((0.0,), (1.0,))
+        b = Box((1.0,), (2.0,))
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_overlap_fraction(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((0.5, 0.0), (1.5, 1.0))
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+        assert a.overlap_fraction(Box((5.0, 5.0), (6.0, 6.0))) == 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box.unit(2).intersects(Box.unit(3))
+        with pytest.raises(ValueError):
+            Box.unit(2).contains_points(np.zeros((3, 3)))
+
+
+class TestSplitting:
+    def test_bisect_all_dims(self):
+        children = Box.unit(2).bisect()
+        assert len(children) == 4
+        assert sum(c.volume for c in children) == pytest.approx(1.0)
+
+    def test_bisect_children_disjoint_and_cover(self):
+        parent = Box((0.0, 0.0), (4.0, 2.0))
+        children = parent.bisect()
+        pts = np.random.default_rng(0).uniform(0, 1, size=(500, 2)) * [4.0, 2.0]
+        memberships = np.stack([c.contains_points(pts) for c in children])
+        assert (memberships.sum(axis=0) == 1).all()
+
+    def test_bisect_subset_of_dims(self):
+        children = Box.unit(3).bisect(dims=[1])
+        assert len(children) == 2
+        assert children[0].high[1] == pytest.approx(0.5)
+        assert children[0].high[0] == pytest.approx(1.0)
+
+    def test_bisect_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Box.unit(2).bisect(dims=[2])
+        with pytest.raises(ValueError):
+            Box.unit(2).bisect(dims=[0, 0])
+        with pytest.raises(ValueError):
+            Box.unit(2).bisect(dims=[])
+
+    def test_can_bisect_float_resolution(self):
+        tiny = Box((0.0,), (5e-324,))
+        assert not tiny.can_bisect()
+        assert Box.unit(1).can_bisect()
+
+    def test_protocol_split(self):
+        assert len(Box.unit(2).split()) == 4
+        assert Box.unit(2).can_split()
+
+    def test_repeated_bisection_preserves_half_open_tiling(self):
+        box = Box.unit(1)
+        for _ in range(20):
+            box = box.bisect()[0]
+        assert box.low[0] == 0.0
+        assert box.high[0] == pytest.approx(2.0**-20)

@@ -1,0 +1,100 @@
+"""Tests for product domains (the §3.5 mixed numeric/categorical extension)."""
+
+import pytest
+
+from repro.domains import (
+    IntervalComponent,
+    ProductDomain,
+    Taxonomy,
+    TaxonomyDomain,
+)
+
+
+@pytest.fixture
+def mixed() -> ProductDomain:
+    """One numeric axis on [0, 8) and one 2-level categorical axis."""
+    tax = Taxonomy.from_dict("all", {"all": ["x", "y"], "x": ["x1", "x2"]})
+    return ProductDomain(
+        (IntervalComponent(0.0, 8.0), TaxonomyDomain(tax, "all"))
+    )
+
+
+class TestIntervalComponent:
+    def test_split_halves(self):
+        left, right = IntervalComponent(0.0, 4.0).split()
+        assert (left.low, left.high) == (0.0, 2.0)
+        assert (right.low, right.high) == (2.0, 4.0)
+
+    def test_contains_half_open(self):
+        comp = IntervalComponent(0.0, 1.0)
+        assert comp.contains(0.0)
+        assert not comp.contains(1.0)
+
+    def test_atomic_interval(self):
+        comp = IntervalComponent(0.0, 5e-324)
+        assert not comp.can_split()
+        with pytest.raises(ValueError):
+            comp.split()
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalComponent(1.0, 1.0)
+
+
+class TestProductDomain:
+    def test_round_robin_alternates_axes(self, mixed):
+        kids = mixed.split()  # splits axis 0 (numeric)
+        assert len(kids) == 2
+        assert kids[0].next_axis == 1
+        grandkids = kids[0].split()  # splits axis 1 (taxonomy)
+        assert len(grandkids) == 2  # "all" -> x, y
+        assert grandkids[0].next_axis == 0
+
+    def test_skips_unsplittable_axis(self):
+        tax = Taxonomy.from_dict("leafonly", {})
+        dom = ProductDomain(
+            (TaxonomyDomain(tax, "leafonly"), IntervalComponent(0.0, 1.0)),
+            next_axis=0,
+        )
+        kids = dom.split()  # axis 0 is a leaf category: must split axis 1
+        assert len(kids) == 2
+        assert isinstance(kids[0].components[1], IntervalComponent)
+        assert kids[0].components[1].high == pytest.approx(0.5)
+
+    def test_contains_row(self, mixed):
+        assert mixed.contains((3.0, "x1"))
+        kids = mixed.split()
+        assert kids[0].contains((3.0, "x1"))
+        assert not kids[1].contains((3.0, "x1"))
+
+    def test_children_partition_rows(self, mixed):
+        rows = [(v, c) for v in (0.5, 4.5, 7.9) for c in ("x1", "x2", "y")]
+        kids = mixed.split()
+        for row in rows:
+            assert sum(k.contains(row) for k in kids) == 1
+
+    def test_split_fanout(self, mixed):
+        assert mixed.split_fanout() == 2
+
+    def test_max_fanout_accounts_for_taxonomy(self, mixed):
+        assert mixed.max_fanout() == 2
+        wide_tax = Taxonomy.from_dict("r", {"r": ["a", "b", "c", "d", "e"]})
+        dom = ProductDomain((TaxonomyDomain(wide_tax, "r"),))
+        assert dom.max_fanout() == 5
+
+    def test_can_split_false_when_all_atomic(self):
+        tax = Taxonomy.from_dict("leafonly", {})
+        dom = ProductDomain((TaxonomyDomain(tax, "leafonly"),))
+        assert not dom.can_split()
+        with pytest.raises(ValueError):
+            dom.split()
+
+    def test_row_length_validation(self, mixed):
+        with pytest.raises(ValueError):
+            mixed.contains((1.0,))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProductDomain(())
+        with pytest.raises(ValueError):
+            ProductDomain((IntervalComponent(0, 1),), next_axis=5)

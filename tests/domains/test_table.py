@@ -1,0 +1,81 @@
+"""Tests for the mixed-table payload (§3.5 extension)."""
+
+import pytest
+
+from repro.core import PrivTreeParams, privtree
+from repro.domains import (
+    IntervalComponent,
+    ProductDomain,
+    TableNodeData,
+    Taxonomy,
+    TaxonomyDomain,
+)
+
+
+@pytest.fixture
+def domain() -> ProductDomain:
+    tax = Taxonomy.from_dict("all", {"all": ["a", "b"]})
+    return ProductDomain(
+        (IntervalComponent(0.0, 16.0), TaxonomyDomain(tax, "all"))
+    )
+
+
+@pytest.fixture
+def rows() -> list[tuple]:
+    return [(1.0, "a"), (1.5, "a"), (9.0, "b"), (15.0, "a"), (2.0, "b")]
+
+
+class TestTableNodeData:
+    def test_root_counts_rows(self, domain, rows):
+        root = TableNodeData.root(domain, rows)
+        assert root.score() == 5.0
+
+    def test_rejects_outside_rows(self, domain):
+        with pytest.raises(ValueError):
+            TableNodeData.root(domain, [(99.0, "a")])
+        with pytest.raises(ValueError):
+            TableNodeData.root(domain, [(1.0, "zebra")])
+
+    def test_split_partitions_rows(self, domain, rows):
+        root = TableNodeData.root(domain, rows)
+        children = root.split()
+        assert sum(len(c.rows) for c in children) == len(rows)
+        # First split is on the numeric axis at 8.0.
+        low, high = children
+        assert {r[0] for r in low.rows} == {1.0, 1.5, 2.0}
+        assert {r[0] for r in high.rows} == {9.0, 15.0}
+
+    def test_second_split_is_taxonomy(self, domain, rows):
+        low = TableNodeData.root(domain, rows).split()[0]
+        kids = low.split()
+        labels = [k.domain.components[1].label for k in kids]
+        assert labels == ["a", "b"]
+        assert {r[1] for r in kids[0].rows} == {"a"}
+
+    def test_score_monotone(self, domain, rows):
+        frontier = [TableNodeData.root(domain, rows)]
+        for _ in range(20):
+            if not frontier:
+                break
+            node = frontier.pop()
+            if not node.can_split():
+                continue
+            for child in node.split():
+                assert child.score() <= node.score()
+                if child.rows:
+                    frontier.append(child)
+
+    def test_privtree_end_to_end(self, domain):
+        # A concentrated table decomposes deeper around its mass.
+        import numpy as np
+
+        gen = np.random.default_rng(0)
+        rows = [(float(v), "a") for v in gen.normal(3.0, 0.1, size=2000).clip(0, 15.9)]
+        root = TableNodeData.root(domain, rows)
+        params = PrivTreeParams.calibrate(1.0, fanout=domain.max_fanout())
+        tree = privtree(root, params, rng=0, max_depth=30)
+        assert tree.size > 3
+        deepest = max(tree.leaves(), key=lambda n: n.depth)
+        numeric = deepest.payload.domain.components[0]
+        # The deepest refinement should be near the cluster at 3.0.
+        assert numeric.low <= 3.5 and numeric.high >= 2.5 or numeric.high - numeric.low < 1.0

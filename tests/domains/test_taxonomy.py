@@ -1,0 +1,79 @@
+"""Tests for taxonomy domains."""
+
+import pytest
+
+from repro.domains import Taxonomy, TaxonomyDomain
+
+
+@pytest.fixture
+def geo() -> Taxonomy:
+    """A small place taxonomy: world -> continents -> countries."""
+    return Taxonomy.from_dict(
+        "world",
+        {
+            "world": ["europe", "asia"],
+            "europe": ["fr", "de", "it"],
+            "asia": ["jp", "cn"],
+        },
+    )
+
+
+class TestTaxonomy:
+    def test_leaves(self, geo):
+        assert geo.is_leaf("fr")
+        assert not geo.is_leaf("europe")
+
+    def test_children_of(self, geo):
+        assert geo.children_of("asia") == ("jp", "cn")
+        assert geo.children_of("fr") == ()
+
+    def test_leaves_under(self, geo):
+        assert geo.leaves_under("europe") == frozenset({"fr", "de", "it"})
+        assert geo.leaves_under("world") == frozenset({"fr", "de", "it", "jp", "cn"})
+        assert geo.leaves_under("jp") == frozenset({"jp"})
+
+    def test_max_fanout(self, geo):
+        assert geo.max_fanout() == 3
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy.from_dict("a", {"a": ["b"], "b": ["a"]})
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy.from_dict("a", {"a": ["b", "b"]})
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy.from_dict("a", {"a": ["b"], "c": ["d"]})
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy.from_dict("a", {"a": []})
+
+
+class TestTaxonomyDomain:
+    def test_split_to_children(self, geo):
+        dom = TaxonomyDomain(geo, "world")
+        kids = dom.split()
+        assert [k.label for k in kids] == ["europe", "asia"]
+
+    def test_leaf_cannot_split(self, geo):
+        dom = TaxonomyDomain(geo, "cn")
+        assert not dom.can_split()
+        with pytest.raises(ValueError):
+            dom.split()
+
+    def test_contains(self, geo):
+        europe = TaxonomyDomain(geo, "europe")
+        assert europe.contains("de")
+        assert not europe.contains("jp")
+
+    def test_children_partition_parent(self, geo):
+        parent = TaxonomyDomain(geo, "world")
+        kids = parent.split()
+        union = frozenset().union(*(k.leaf_categories for k in kids))
+        assert union == parent.leaf_categories
+        for i, a in enumerate(kids):
+            for b in kids[i + 1 :]:
+                assert not (a.leaf_categories & b.leaf_categories)

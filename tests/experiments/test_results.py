@@ -1,0 +1,64 @@
+"""Tests for the sweep-result container and formatting."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    SweepResult,
+    format_float,
+    format_percent,
+    format_seconds,
+)
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.0234) == "2.34%"
+        assert format_percent(1.5) == "150.00%"
+
+    def test_seconds(self):
+        assert format_seconds(0.0012) == "0.0012s"
+        assert format_seconds(1.234) == "1.234s"
+
+    def test_float(self):
+        assert format_float(0.5) == "0.5000"
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def result(self) -> SweepResult:
+        res = SweepResult(
+            title="demo", row_label="epsilon", rows=[0.1, 0.8], columns=[]
+        )
+        res.add_column("A", [0.5, 0.25])
+        res.add_column("B", [0.4, 0.2])
+        return res
+
+    def test_add_column_validates_length(self, result):
+        with pytest.raises(ValueError):
+            result.add_column("C", [1.0])
+
+    def test_value_lookup(self, result):
+        assert result.value("A", 0.8) == 0.25
+
+    def test_table_contains_all_cells(self, result):
+        table = result.to_table(format_percent)
+        assert "demo" in table
+        assert "50.00%" in table
+        assert "20.00%" in table
+        assert "epsilon" in table
+        assert "A" in table and "B" in table
+
+    def test_table_renders_nan_as_dash(self, result):
+        result.add_column("C", [float("nan"), 0.1])
+        table = result.to_table(format_percent)
+        assert "--" in table
+
+    def test_replacing_column_keeps_single_header(self, result):
+        result.add_column("A", [0.9, 0.8])
+        assert result.columns.count("A") == 1
+        assert result.value("A", 0.1) == 0.9
+
+    def test_rows_preserved(self, result):
+        assert result.rows == [0.1, 0.8]

@@ -1,0 +1,65 @@
+"""Light end-to-end runs of the sequence experiment harness."""
+
+import numpy as np
+
+from repro.experiments import (
+    run_length_distribution_experiment,
+    run_ngram_height_ablation,
+    run_topk_experiment,
+)
+
+LIGHT = dict(epsilons=[0.2, 1.6], n_reps=1, dataset_n=3_000, rng=0)
+
+
+class TestTopkExperiment:
+    def test_columns_and_rows(self):
+        res = run_topk_experiment("msnbc", k=20, **LIGHT)
+        assert res.columns == ["Truncate", "PrivTree", "N-gram", "EM"]
+        assert res.rows == [0.2, 1.6]
+
+    def test_precisions_are_probabilities(self):
+        res = run_topk_experiment("msnbc", k=20, **LIGHT)
+        for col in res.columns:
+            assert all(0.0 <= v <= 1.0 for v in res.values[col])
+
+    def test_truncate_constant_across_epsilon(self):
+        res = run_topk_experiment("mooc", k=20, **LIGHT)
+        truncate = res.values["Truncate"]
+        assert truncate[0] == truncate[1]
+
+    def test_privtree_beats_em_at_high_epsilon(self):
+        res = run_topk_experiment("msnbc", k=20, **LIGHT)
+        assert res.value("PrivTree", 1.6) >= res.value("EM", 1.6)
+
+
+class TestLengthDistributionExperiment:
+    def test_columns(self):
+        res = run_length_distribution_experiment(
+            "msnbc", n_synthetic=500, **LIGHT
+        )
+        assert res.columns == ["Truncate", "PrivTree", "N-gram"]
+
+    def test_tvds_in_unit_interval(self):
+        res = run_length_distribution_experiment(
+            "msnbc", n_synthetic=500, **LIGHT
+        )
+        for col in res.columns:
+            assert all(0.0 <= v <= 1.0 for v in res.values[col])
+
+    def test_truncate_tvd_positive(self):
+        # Truncation removes tail mass, so its TVD must be visible (> 0).
+        res = run_length_distribution_experiment(
+            "msnbc", n_synthetic=500, **LIGHT
+        )
+        assert res.values["Truncate"][0] > 0.0
+
+
+class TestNgramHeightAblation:
+    def test_columns(self):
+        res = run_ngram_height_ablation("msnbc", k=20, heights=(3, 5), **LIGHT)
+        assert res.columns == ["h=3", "h=5"]
+
+    def test_values_finite(self):
+        res = run_ngram_height_ablation("msnbc", k=20, heights=(3, 5), **LIGHT)
+        for col in res.columns:
+            assert all(np.isfinite(res.values[col]))

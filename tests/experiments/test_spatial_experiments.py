@@ -1,0 +1,83 @@
+"""Light end-to-end runs of the spatial experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_EPSILONS,
+    run_ag_gridsize_ablation,
+    run_fanout_ablation,
+    run_hierarchy_height_ablation,
+    run_range_query_experiment,
+    run_ug_gridsize_ablation,
+    spatial_method_registry,
+)
+
+LIGHT = dict(epsilons=[0.2, 1.6], n_reps=1, n_queries=30, dataset_n=6_000, rng=0)
+
+
+class TestMethodRegistry:
+    def test_2d_includes_ag_and_hierarchy(self):
+        methods = spatial_method_registry(2)
+        assert {"PrivTree", "UG", "DAWA", "Privelet", "AG", "Hierarchy"} == set(
+            methods
+        )
+
+    def test_4d_excludes_2d_only_methods(self):
+        methods = spatial_method_registry(4)
+        assert "AG" not in methods
+        assert "Hierarchy" not in methods
+        assert "PrivTree" in methods
+
+
+class TestRangeQueryExperiment:
+    def test_full_method_set_on_gowalla(self):
+        res = run_range_query_experiment("gowalla", "medium", **LIGHT)
+        assert set(res.columns) == set(spatial_method_registry(2))
+        assert res.rows == [0.2, 1.6]
+        for col in res.columns:
+            assert all(np.isfinite(res.values[col]))
+
+    def test_4d_dataset(self):
+        res = run_range_query_experiment("beijing", "large", **LIGHT)
+        assert "AG" not in res.columns
+        assert all(v >= 0 for v in res.values["PrivTree"])
+
+    def test_paper_epsilons_default(self):
+        assert PAPER_EPSILONS == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+
+
+class TestAblations:
+    def test_fanout_ablation_2d(self):
+        res = run_fanout_ablation("gowalla", "medium", **LIGHT)
+        assert set(res.columns) == {"beta=2^2", "beta=2^1"}
+
+    def test_fanout_ablation_4d(self):
+        res = run_fanout_ablation("beijing", "medium", **LIGHT)
+        assert set(res.columns) == {"beta=2^4", "beta=2^2", "beta=2^1"}
+
+    def test_ug_ablation_columns(self):
+        res = run_ug_gridsize_ablation(
+            "gowalla", "medium", size_factors=(1 / 3, 1.0, 3.0), **LIGHT
+        )
+        assert res.columns == ["r=0.333333", "r=1", "r=3"]
+
+    def test_ag_ablation_rejects_4d(self):
+        with pytest.raises(ValueError):
+            run_ag_gridsize_ablation("nyc", "medium", **LIGHT)
+
+    def test_ag_ablation_runs_2d(self):
+        res = run_ag_gridsize_ablation(
+            "gowalla", "medium", size_factors=(1.0, 3.0), **LIGHT
+        )
+        assert len(res.columns) == 2
+
+    def test_hierarchy_ablation(self):
+        res = run_hierarchy_height_ablation(
+            "gowalla", "medium", heights=(3, 5), **LIGHT
+        )
+        assert res.columns == ["h=3", "h=5"]
+
+    def test_hierarchy_ablation_rejects_4d(self):
+        with pytest.raises(ValueError):
+            run_hierarchy_height_ablation("beijing", "medium", **LIGHT)

@@ -1,0 +1,26 @@
+"""Tests for the Table 4 timing harness."""
+
+from repro.experiments import format_seconds, run_privtree_timing
+
+
+class TestTiming:
+    def test_columns_and_positive_times(self):
+        res = run_privtree_timing(
+            dataset_names=["beijing", "msnbc"],
+            epsilons=[0.4],
+            n_reps=1,
+            dataset_n=2_000,
+            rng=0,
+        )
+        assert res.columns == ["beijing", "msnbc"]
+        assert all(v > 0 for col in res.columns for v in res.values[col])
+
+    def test_table_formats_seconds(self):
+        res = run_privtree_timing(
+            dataset_names=["beijing"],
+            epsilons=[0.4],
+            n_reps=1,
+            dataset_n=2_000,
+            rng=0,
+        )
+        assert "s" in res.to_table(format_seconds)

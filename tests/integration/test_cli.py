@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a.choices, dict)
+        )
+        assert set(sub.choices) == {
+            "figure5",
+            "figure6",
+            "figure7",
+            "table4",
+            "svt",
+            "datasets",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure5", "--dataset", "adult"])
+
+
+class TestCommands:
+    def test_svt_command(self, capsys):
+        assert main(["svt"]) == 0
+        out = capsys.readouterr().out
+        assert "BinarySVT" in out
+        assert "VanillaSVT" in out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "road" in out and "msnbc" in out
+
+    def test_figure5_small_run(self, capsys):
+        code = main(
+            [
+                "figure5",
+                "--dataset",
+                "gowalla",
+                "--band",
+                "large",
+                "--n",
+                "3000",
+                "--queries",
+                "10",
+                "--epsilons",
+                "1.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PrivTree" in out
+        assert "1.6" in out
+
+    def test_figure6_small_run(self, capsys):
+        code = main(
+            [
+                "figure6",
+                "--dataset",
+                "msnbc",
+                "--k",
+                "10",
+                "--n",
+                "1500",
+                "--epsilons",
+                "1.6",
+            ]
+        )
+        assert code == 0
+        assert "N-gram" in capsys.readouterr().out
+
+    def test_figure7_small_run(self, capsys):
+        code = main(
+            [
+                "figure7",
+                "--dataset",
+                "msnbc",
+                "--n",
+                "1500",
+                "--synthetic",
+                "200",
+                "--epsilons",
+                "1.6",
+            ]
+        )
+        assert code == 0
+        assert "Truncate" in capsys.readouterr().out
+
+    def test_table4_small_run(self, capsys):
+        code = main(["table4", "--n", "1500", "--epsilons", "0.4"])
+        assert code == 0
+        assert "road" in capsys.readouterr().out

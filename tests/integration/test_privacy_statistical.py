@@ -1,0 +1,157 @@
+"""Statistical verification of differential-privacy guarantees.
+
+These tests estimate output distributions on neighboring datasets by Monte
+Carlo and check the ε bound with sampling-aware slack.  They are the
+empirical counterpart of Theorem 3.1 / Lemma A.1: a buggy noise scale or a
+forgotten bias term makes them fail loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import PrivTreeParams, privtree
+from repro.mechanisms import ensure_rng
+from repro.svt import improved_svt
+
+
+class AtomicIntervalPayload:
+    """1-d payload over integer atoms: unsplittable below width 1.
+
+    Keeps the output space tiny so distributions are estimable by MC.
+    """
+
+    def __init__(self, lo: int, hi: int, values: np.ndarray):
+        self.lo = lo
+        self.hi = hi
+        self.values = values
+
+    def score(self) -> float:
+        return float(len(self.values))
+
+    def can_split(self) -> bool:
+        return self.hi - self.lo > 1
+
+    def split(self) -> list["AtomicIntervalPayload"]:
+        mid = (self.lo + self.hi) // 2
+        return [
+            AtomicIntervalPayload(self.lo, mid, self.values[self.values < mid]),
+            AtomicIntervalPayload(mid, self.hi, self.values[self.values >= mid]),
+        ]
+
+
+def tree_signature(tree) -> tuple:
+    """A hashable encoding of the released structure (leaf intervals)."""
+    return tuple(
+        sorted((node.payload.lo, node.payload.hi) for node in tree.root.iter_leaves())
+    )
+
+
+def empirical_log_ratios(
+    sample_a: Counter, sample_b: Counter, n: int, min_count: int = 80
+) -> list[tuple[float, float]]:
+    """(log-ratio, MC slack) for outcomes well-supported in both samples."""
+    out = []
+    for outcome, count_a in sample_a.items():
+        count_b = sample_b.get(outcome, 0)
+        if count_a < min_count or count_b < min_count:
+            continue
+        ratio = math.log(count_a / count_b)
+        # Three-sigma slack on the log-ratio of two binomial proportions.
+        slack = 3.0 * math.sqrt(1.0 / count_a + 1.0 / count_b)
+        out.append((ratio, slack))
+    return out
+
+
+class TestPrivTreeIsDifferentiallyPrivate:
+    @pytest.mark.slow
+    def test_structure_distribution_respects_epsilon(self):
+        # Domain {0..7}, neighboring datasets differing in one point placed
+        # inside the dense region (the worst case for split decisions).
+        epsilon = 2.0
+        params = PrivTreeParams.calibrate(epsilon, fanout=2, theta=2.0)
+        base = np.array([1, 1, 1, 2, 2, 3, 5, 5, 6])
+        neighbor = np.concatenate([base, [1]])
+        n_runs = 12_000
+        gen = ensure_rng(20160630)
+
+        def sample(values: np.ndarray) -> Counter:
+            counts: Counter = Counter()
+            for _ in range(n_runs):
+                tree = privtree(
+                    AtomicIntervalPayload(0, 8, values), params, rng=gen
+                )
+                counts[tree_signature(tree)] += 1
+            return counts
+
+        dist_a = sample(base)
+        dist_b = sample(neighbor)
+        ratios = empirical_log_ratios(dist_a, dist_b, n_runs)
+        assert ratios, "no outcome had enough support to compare"
+        for ratio, slack in ratios:
+            assert abs(ratio) <= epsilon + slack, (
+                f"empirical privacy loss {abs(ratio):.3f} exceeds "
+                f"eps={epsilon} + slack={slack:.3f}"
+            )
+
+    @pytest.mark.slow
+    def test_miscalibrated_noise_detected(self):
+        # Sanity check that the harness has teeth: with noise 4x too small,
+        # a node whose biased count straddles theta flips with very
+        # different probabilities on the two datasets, and the bound breaks.
+        epsilon = 2.0
+        good = PrivTreeParams.calibrate(epsilon, fanout=2, theta=2.0)
+        params = PrivTreeParams(
+            lam=good.lam / 4.0, delta=good.delta, theta=good.theta, fanout=2
+        )
+        base = np.array([1, 1, 1, 2, 2, 3, 5, 5, 6])
+        neighbor = np.concatenate([base, [1]])
+        n_runs = 6_000
+        gen = ensure_rng(99)
+
+        def sample(values: np.ndarray) -> Counter:
+            counts: Counter = Counter()
+            for _ in range(n_runs):
+                tree = privtree(
+                    AtomicIntervalPayload(0, 8, values), params, rng=gen
+                )
+                counts[tree_signature(tree)] += 1
+            return counts
+
+        dist_a = sample(base)
+        dist_b = sample(neighbor)
+        ratios = empirical_log_ratios(dist_a, dist_b, n_runs, min_count=30)
+        bounded_violated = any(abs(r) > epsilon + s for r, s in ratios)
+        # Disjoint support with real mass is also a violation.
+        support_violated = any(
+            dist_b.get(outcome, 0) == 0 for outcome, c in dist_a.items() if c > 200
+        ) or any(
+            dist_a.get(outcome, 0) == 0 for outcome, c in dist_b.items() if c > 200
+        )
+        assert bounded_violated or support_violated
+
+
+class TestImprovedSvtIsDifferentiallyPrivate:
+    @pytest.mark.slow
+    def test_output_distribution_respects_two_over_lambda(self):
+        lam = 1.0  # guarantees loss <= 2/lam = 2
+        answers_a = [1.0, 0.0, 2.0, 1.0]
+        answers_b = [0.0, 1.0, 1.0, 2.0]  # each query differs by at most 1
+        n_runs = 25_000
+        gen = ensure_rng(7)
+
+        def sample(answers) -> Counter:
+            counts: Counter = Counter()
+            for _ in range(n_runs):
+                out = improved_svt(answers, theta=1.0, lam=lam, t=2, rng=gen)
+                counts[tuple(out)] += 1
+            return counts
+
+        ratios = empirical_log_ratios(sample(answers_a), sample(answers_b), n_runs)
+        assert ratios
+        for ratio, slack in ratios:
+            assert abs(ratio) <= 2.0 / lam + slack

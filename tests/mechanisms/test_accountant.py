@@ -1,0 +1,62 @@
+"""Tests for sequential-composition budget accounting."""
+
+import pytest
+
+from repro.mechanisms import BudgetExceededError, PrivacyAccountant
+
+
+class TestAccountant:
+    def test_initial_state(self):
+        acc = PrivacyAccountant(1.0)
+        assert acc.spent == 0.0
+        assert acc.remaining == 1.0
+
+    def test_spend_accumulates(self):
+        acc = PrivacyAccountant(1.0)
+        acc.spend(0.3, "tree")
+        acc.spend(0.2, "counts")
+        assert acc.spent == pytest.approx(0.5)
+        assert acc.remaining == pytest.approx(0.5)
+
+    def test_overspend_raises(self):
+        acc = PrivacyAccountant(1.0)
+        acc.spend(0.9)
+        with pytest.raises(BudgetExceededError):
+            acc.spend(0.2)
+
+    def test_overspend_leaves_ledger_unchanged(self):
+        acc = PrivacyAccountant(1.0)
+        acc.spend(0.9)
+        with pytest.raises(BudgetExceededError):
+            acc.spend(0.2)
+        assert acc.spent == pytest.approx(0.9)
+
+    def test_fraction_split_exactly_exhausts(self):
+        # Halving twice should not trip the float-tolerance guard.
+        acc = PrivacyAccountant(0.3)
+        acc.spend_fraction(0.5)
+        acc.spend_fraction(0.5)
+        assert acc.remaining == pytest.approx(0.0, abs=1e-12)
+
+    def test_ledger_records_labels(self):
+        acc = PrivacyAccountant(2.0)
+        acc.spend(1.0, "structure")
+        acc.spend(0.5, "counts")
+        assert acc.ledger == [("structure", 1.0), ("counts", 0.5)]
+
+    def test_ledger_copy_is_defensive(self):
+        acc = PrivacyAccountant(2.0)
+        acc.spend(1.0, "a")
+        acc.ledger.append(("evil", 100.0))
+        assert acc.spent == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(0.0)
+        acc = PrivacyAccountant(1.0)
+        with pytest.raises(ValueError):
+            acc.spend(-0.1)
+        with pytest.raises(ValueError):
+            acc.spend_fraction(0.0)
+        with pytest.raises(ValueError):
+            acc.spend_fraction(1.5)

@@ -1,0 +1,67 @@
+"""Tests for the exponential mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import exponential_mechanism, exponential_weights
+
+
+class TestWeights:
+    def test_uniform_scores_give_uniform_weights(self):
+        w = exponential_weights([5.0, 5.0, 5.0], sensitivity=1.0, epsilon=1.0)
+        np.testing.assert_allclose(w, [1 / 3] * 3)
+
+    def test_weights_sum_to_one(self):
+        w = exponential_weights([0.0, 10.0, 3.0], sensitivity=1.0, epsilon=0.7)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_higher_score_higher_weight(self):
+        w = exponential_weights([1.0, 2.0, 8.0], sensitivity=1.0, epsilon=1.0)
+        assert w[0] < w[1] < w[2]
+
+    def test_exact_two_candidate_ratio(self):
+        # weight ratio = exp(eps * (s1 - s0) / (2 * sens))
+        eps, sens = 0.8, 2.0
+        w = exponential_weights([0.0, 3.0], sensitivity=sens, epsilon=eps)
+        assert w[1] / w[0] == pytest.approx(np.exp(eps * 3.0 / (2 * sens)))
+
+    def test_extreme_scores_do_not_overflow(self):
+        w = exponential_weights([0.0, 1e6], sensitivity=1.0, epsilon=1.0)
+        assert np.isfinite(w).all()
+        assert w[1] == pytest.approx(1.0)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_weights([], sensitivity=1.0, epsilon=1.0)
+
+
+class TestSelection:
+    def test_returns_a_candidate(self, rng):
+        choice = exponential_mechanism(
+            ["a", "b", "c"], [1.0, 2.0, 3.0], sensitivity=1.0, epsilon=1.0, rng=rng
+        )
+        assert choice in {"a", "b", "c"}
+
+    def test_strongly_separated_scores_pick_max(self, rng):
+        picks = [
+            exponential_mechanism(
+                [0, 1], [0.0, 1000.0], sensitivity=1.0, epsilon=1.0, rng=rng
+            )
+            for _ in range(50)
+        ]
+        assert all(p == 1 for p in picks)
+
+    def test_empirical_frequencies_match_weights(self, rng):
+        scores = [0.0, 2.0]
+        w = exponential_weights(scores, sensitivity=1.0, epsilon=1.0)
+        picks = np.array(
+            [
+                exponential_mechanism([0, 1], scores, 1.0, 1.0, rng=rng)
+                for _ in range(20_000)
+            ]
+        )
+        assert picks.mean() == pytest.approx(w[1], abs=0.02)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(["a"], [1.0, 2.0], sensitivity=1.0, epsilon=1.0)

@@ -1,0 +1,77 @@
+"""Tests for the geometric mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import geometric_mechanism, geometric_noise, geometric_pmf
+
+
+class TestPmf:
+    def test_normalizes(self):
+        eps = 0.7
+        total = sum(geometric_pmf(k, eps) for k in range(-200, 201))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetric(self):
+        assert geometric_pmf(3, 1.0) == pytest.approx(geometric_pmf(-3, 1.0))
+
+    def test_dp_ratio_is_exactly_exp_eps(self):
+        # Adjacent outputs differ by exactly e^epsilon in probability: the
+        # defining property of the mechanism.
+        eps = 0.9
+        for k in (0, 1, 5):
+            ratio = geometric_pmf(k, eps) / geometric_pmf(k + 1, eps)
+            assert ratio == pytest.approx(math.exp(eps))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            geometric_pmf(0, 0.0)
+        with pytest.raises(ValueError):
+            geometric_pmf(0, 1.0, sensitivity=0.0)
+
+
+class TestSampling:
+    def test_scalar_is_int(self):
+        assert isinstance(geometric_noise(1.0, rng=0), int)
+
+    def test_array_is_integer_typed(self):
+        noise = geometric_noise(1.0, size=(10,), rng=0)
+        assert np.issubdtype(noise.dtype, np.integer)
+
+    def test_empirical_distribution_matches_pmf(self):
+        eps = 0.8
+        draws = geometric_noise(eps, size=200_000, rng=1)
+        for k in (0, 1, -2):
+            empirical = float(np.mean(draws == k))
+            assert empirical == pytest.approx(geometric_pmf(k, eps), abs=0.01)
+
+    def test_zero_mean(self):
+        draws = geometric_noise(0.5, size=100_000, rng=2)
+        assert abs(draws.mean()) < 0.1
+
+
+class TestMechanism:
+    def test_integer_release(self):
+        out = geometric_mechanism(42, epsilon=1.0, rng=0)
+        assert isinstance(out, int)
+
+    def test_array_release(self):
+        counts = np.array([10, 20, 30])
+        out = geometric_mechanism(counts, epsilon=1.0, rng=0)
+        assert out.shape == counts.shape
+        assert np.issubdtype(out.dtype, np.integer)
+
+    def test_rejects_float_counts(self):
+        with pytest.raises(ValueError):
+            geometric_mechanism(np.array([1.5]), epsilon=1.0, rng=0)
+
+    def test_more_budget_less_noise(self):
+        spread = {}
+        for eps in (0.1, 4.0):
+            outs = geometric_mechanism(
+                np.zeros(20_000, dtype=int), epsilon=eps, rng=3
+            )
+            spread[eps] = outs.std()
+        assert spread[4.0] < spread[0.1]

@@ -1,0 +1,105 @@
+"""Tests for the Laplace distribution utilities and mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    laplace_cdf,
+    laplace_logcdf,
+    laplace_logpdf,
+    laplace_logsf,
+    laplace_mechanism,
+    laplace_noise,
+    laplace_pdf,
+    laplace_sf,
+)
+
+
+class TestDistribution:
+    def test_pdf_peak_at_loc(self):
+        assert laplace_pdf(3.0, scale=2.0, loc=3.0) == pytest.approx(1.0 / 4.0)
+
+    def test_pdf_symmetry(self):
+        assert laplace_pdf(1.5, 1.0) == pytest.approx(laplace_pdf(-1.5, 1.0))
+
+    def test_cdf_at_loc_is_half(self):
+        assert laplace_cdf(0.0, scale=1.0) == pytest.approx(0.5)
+        assert laplace_cdf(7.0, scale=3.0, loc=7.0) == pytest.approx(0.5)
+
+    def test_cdf_sf_complementary(self):
+        for x in (-5.0, -0.3, 0.0, 0.3, 5.0):
+            assert laplace_cdf(x, 1.3) + laplace_sf(x, 1.3) == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        xs = np.linspace(-10, 10, 101)
+        vals = [laplace_cdf(x, 0.7) for x in xs]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_known_tail_value(self):
+        # Pr[Lap(lam) > lam * ln(beta)] = 1/(2*beta): the Lemma 3.2 quantity.
+        beta = 4.0
+        lam = 1.7
+        assert laplace_sf(lam * math.log(beta), lam) == pytest.approx(1 / (2 * beta))
+
+    def test_log_versions_match_linear(self):
+        for x in (-2.0, 0.0, 0.5, 4.0):
+            assert laplace_logcdf(x, 1.1) == pytest.approx(math.log(laplace_cdf(x, 1.1)))
+            assert laplace_logsf(x, 1.1) == pytest.approx(math.log(laplace_sf(x, 1.1)))
+            assert laplace_logpdf(x, 1.1) == pytest.approx(math.log(laplace_pdf(x, 1.1)))
+
+    def test_logsf_deep_tail_no_underflow(self):
+        # exp(-2000) underflows to 0 in linear space; log-space must survive.
+        val = laplace_logsf(2000.0, 1.0)
+        assert val == pytest.approx(math.log(0.5) - 2000.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_pdf(0.0, scale=0.0)
+        with pytest.raises(ValueError):
+            laplace_sf(0.0, scale=-1.0)
+
+
+class TestSampling:
+    def test_scalar_draw(self, rng):
+        value = laplace_noise(1.0, rng=rng)
+        assert isinstance(value, float)
+
+    def test_array_shape(self, rng):
+        arr = laplace_noise(2.0, size=(3, 4), rng=rng)
+        assert arr.shape == (3, 4)
+
+    def test_empirical_mean_and_scale(self, rng):
+        draws = laplace_noise(2.0, size=200_000, rng=rng)
+        assert abs(draws.mean()) < 0.05
+        # Var of Lap(b) is 2 b^2 = 8.
+        assert draws.var() == pytest.approx(8.0, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = laplace_noise(1.0, size=5, rng=42)
+        b = laplace_noise(1.0, size=5, rng=42)
+        np.testing.assert_allclose(a, b)
+
+
+class TestMechanism:
+    def test_scalar_release(self, rng):
+        out = laplace_mechanism(10.0, sensitivity=1.0, epsilon=0.5, rng=rng)
+        assert isinstance(out, float)
+
+    def test_vector_release_shape(self, rng):
+        out = laplace_mechanism([1.0, 2.0, 3.0], sensitivity=1.0, epsilon=1.0, rng=rng)
+        assert out.shape == (3,)
+
+    def test_noise_scale_matches_sensitivity_over_epsilon(self, rng):
+        outs = laplace_mechanism(
+            np.zeros(100_000), sensitivity=2.0, epsilon=0.5, rng=rng
+        )
+        # scale = 4 => variance 32.
+        assert outs.var() == pytest.approx(32.0, rel=0.05)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, sensitivity=1.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, sensitivity=0.0, epsilon=1.0)

@@ -1,0 +1,37 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+
+from repro.mechanisms import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_seed_gives_generator(self):
+        gen = ensure_rng(123)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(ensure_rng(1), 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn(ensure_rng(1), 3)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_is_reproducible(self):
+        a = [g.random() for g in spawn(ensure_rng(9), 3)]
+        b = [g.random() for g in spawn(ensure_rng(9), 3)]
+        assert a == b

@@ -1,0 +1,73 @@
+"""Property-based tests for the PrivTree privacy analysis (Lemma 3.1 etc.)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    lambda_for_epsilon,
+    path_cost_bound,
+    rho,
+    rho_top,
+)
+
+lams = st.floats(min_value=0.05, max_value=50.0)
+thetas = st.floats(min_value=-20.0, max_value=20.0)
+offsets = st.floats(min_value=-30.0, max_value=100.0)
+
+
+class TestLemma31Property:
+    @given(offset=offsets, lam=lams, theta=thetas)
+    def test_rho_bounded_by_rho_top(self, offset, lam, theta):
+        x = theta + offset
+        assert rho(x, lam, theta) <= rho_top(x, lam, theta) + 1e-10
+
+    @given(offset=offsets, lam=lams, theta=thetas)
+    def test_rho_nonnegative(self, offset, lam, theta):
+        # Strict positivity can underflow to 0.0 when offset/lam is huge
+        # (rho ~ e^{-offset/lam}); nonnegativity must hold everywhere, and
+        # positivity wherever the tail is representable.
+        value = rho(theta + offset, lam, theta)
+        assert value >= 0
+        if offset / lam < 500:
+            assert value > 0
+
+    @given(offset=offsets, lam=lams, theta=thetas)
+    def test_rho_at_most_one_over_lambda(self, offset, lam, theta):
+        # The coarse bound used below theta + 1 must hold globally.
+        assert rho(theta + offset, lam, theta) <= 1.0 / lam + 1e-10
+
+    @given(
+        a=st.floats(min_value=-30, max_value=100),
+        b=st.floats(min_value=-30, max_value=100),
+        lam=lams,
+    )
+    def test_rho_monotone_decreasing(self, a, b, lam):
+        lo, hi = min(a, b), max(a, b)
+        assert rho(hi, lam) <= rho(lo, lam) + 1e-10
+
+
+class TestTheorem31Property:
+    @given(
+        lam=lams,
+        gamma=st.floats(min_value=0.1, max_value=5.0),
+        start=st.floats(min_value=0.0, max_value=10.0),
+        levels=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=60)
+    def test_any_decaying_path_within_bound(self, lam, gamma, start, levels):
+        # Theorem 3.1's telescoping: any sequence of biased counts rising by
+        # at least delta per step above theta+1, plus the floor term, stays
+        # within the closed-form path bound.
+        theta = 0.0
+        delta = gamma * lam
+        counts = [theta + 1 + start + k * delta for k in range(levels)]
+        total = sum(rho(c, lam, theta) for c in counts) + 1.0 / lam
+        assert total <= path_cost_bound(lam, gamma) + 1e-8
+
+    @given(eps=st.floats(min_value=0.01, max_value=10.0), fanout=st.integers(2, 64))
+    def test_calibrated_lambda_meets_bound(self, eps, fanout):
+        lam = lambda_for_epsilon(eps, fanout)
+        gamma = math.log(fanout)
+        assert path_cost_bound(lam, gamma) <= eps * (1 + 1e-9)

@@ -1,0 +1,75 @@
+"""Property-based tests for box geometry."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.domains import Box
+
+
+@st.composite
+def boxes(draw, ndim=None):
+    d = ndim or draw(st.integers(min_value=1, max_value=4))
+    lows = draw(
+        arrays(
+            float,
+            d,
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        )
+    )
+    extents = draw(
+        arrays(float, d, elements=st.floats(min_value=1e-3, max_value=100))
+    )
+    return Box.from_arrays(lows, lows + extents)
+
+
+class TestBoxProperties:
+    @given(box=boxes())
+    def test_bisect_children_tile_volume(self, box):
+        children = box.bisect()
+        assert np.isclose(sum(c.volume for c in children), box.volume, rtol=1e-9)
+
+    @given(box=boxes(), data=st.data())
+    @settings(max_examples=50)
+    def test_bisect_children_partition_points(self, box, data):
+        seed = data.draw(st.integers(0, 2**31))
+        gen = np.random.default_rng(seed)
+        low = np.asarray(box.low)
+        high = np.asarray(box.high)
+        pts = gen.uniform(low, high, size=(64, box.ndim))
+        pts = np.clip(pts, low, np.nextafter(high, low))
+        membership = np.stack(
+            [c.contains_points(pts) for c in box.bisect()], axis=0
+        )
+        np.testing.assert_array_equal(membership.sum(axis=0), 1)
+
+    @given(box=boxes())
+    def test_contains_self(self, box):
+        assert box.contains_box(box)
+        assert box.intersects(box)
+        assert np.isclose(box.overlap_fraction(box), 1.0)
+
+    @given(a=boxes(ndim=2), b=boxes(ndim=2))
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+        ia, ib = a.intersection(b), b.intersection(a)
+        if ia is None:
+            assert ib is None
+        else:
+            assert np.isclose(ia.volume, ib.volume, rtol=1e-9)
+
+    @given(a=boxes(ndim=3), b=boxes(ndim=3))
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_box(inter)
+            assert b.contains_box(inter)
+
+    @given(a=boxes(ndim=2), b=boxes(ndim=2))
+    def test_overlap_fraction_in_unit_interval(self, a, b):
+        assert 0.0 <= a.overlap_fraction(b) <= 1.0 + 1e-12
+
+    @given(box=boxes())
+    def test_split_protocol_matches_bisect(self, box):
+        assert len(box.split()) == 2**box.ndim

@@ -1,0 +1,90 @@
+"""Property-based tests for taxonomy and product domains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains import (
+    IntervalComponent,
+    ProductDomain,
+    Taxonomy,
+    TaxonomyDomain,
+)
+
+
+@st.composite
+def taxonomies(draw):
+    """Random small taxonomies built level by level."""
+    n_internal = draw(st.integers(min_value=0, max_value=6))
+    children: dict[str, list[str]] = {}
+    frontier = ["root"]
+    next_id = 0
+    for _ in range(n_internal):
+        if not frontier:
+            break
+        parent = frontier.pop(0)
+        width = draw(st.integers(min_value=2, max_value=4))
+        kids = [f"n{next_id + i}" for i in range(width)]
+        next_id += width
+        children[parent] = kids
+        frontier.extend(kids)
+    return Taxonomy.from_dict("root", children)
+
+
+class TestTaxonomyProperties:
+    @given(tax=taxonomies())
+    @settings(max_examples=60)
+    def test_children_partition_leaves(self, tax):
+        for label, kids in tax.children.items():
+            union = frozenset().union(*(tax.leaves_under(k) for k in kids))
+            assert union == tax.leaves_under(label)
+            total = sum(len(tax.leaves_under(k)) for k in kids)
+            assert total == len(tax.leaves_under(label))
+
+    @given(tax=taxonomies())
+    @settings(max_examples=60)
+    def test_every_leaf_under_root(self, tax):
+        leaves = tax.leaves_under("root")
+        assert leaves
+        for leaf in leaves:
+            assert tax.is_leaf(leaf)
+            assert TaxonomyDomain(tax, "root").contains(leaf)
+
+    @given(tax=taxonomies())
+    @settings(max_examples=60)
+    def test_max_fanout_bounds_all_splits(self, tax):
+        cap = tax.max_fanout()
+        for kids in tax.children.values():
+            assert len(kids) <= cap
+
+
+class TestProductProperties:
+    @given(
+        tax=taxonomies(),
+        lo=st.floats(min_value=-10, max_value=10),
+        width=st.floats(min_value=0.5, max_value=10),
+        splits=st.integers(min_value=0, max_value=6),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=50)
+    def test_repeated_splits_partition_random_rows(self, tax, lo, width, splits, seed):
+        import numpy as np
+
+        domain = ProductDomain(
+            (IntervalComponent(lo, lo + width), TaxonomyDomain(tax, "root"))
+        )
+        gen = np.random.default_rng(seed)
+        leaves = list(tax.leaves_under("root"))
+        rows = [
+            (float(gen.uniform(lo, lo + width)), leaves[gen.integers(len(leaves))])
+            for _ in range(20)
+        ]
+        frontier = [domain]
+        for _ in range(splits):
+            candidates = [d for d in frontier if d.can_split()]
+            if not candidates:
+                break
+            target = candidates[0]
+            frontier.remove(target)
+            frontier.extend(target.split())
+        for row in rows:
+            assert sum(d.contains(row) for d in frontier) == 1

@@ -1,0 +1,94 @@
+"""Property-based tests for grid range counting and linearizations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import UniformGrid, linear_order, morton_order
+from repro.domains import Box
+from repro.spatial import SpatialDataset
+
+
+@st.composite
+def grids(draw):
+    d = draw(st.integers(min_value=1, max_value=3))
+    shape = tuple(draw(st.integers(min_value=1, max_value=8)) for _ in range(d))
+    seed = draw(st.integers(0, 2**31))
+    counts = np.random.default_rng(seed).poisson(3.0, size=shape).astype(float)
+    return UniformGrid(Box.unit(d), counts)
+
+
+@st.composite
+def queries_in(draw, ndim):
+    lows = [draw(st.floats(min_value=0.0, max_value=0.97)) for _ in range(ndim)]
+    highs = [
+        min(1.0, lo + draw(st.floats(min_value=1e-3, max_value=1.0)))
+        for lo in lows
+    ]
+    return Box(tuple(lows), tuple(highs))
+
+
+class TestGridRangeCount:
+    @given(grid=grids())
+    def test_full_domain_is_total(self, grid):
+        assert np.isclose(grid.range_count(grid.domain), grid.counts.sum(), rtol=1e-9)
+
+    @given(grid=grids(), data=st.data())
+    @settings(max_examples=80)
+    def test_additive_over_a_split(self, grid, data):
+        # Splitting any query at a hyperplane must preserve the total.
+        query = data.draw(queries_in(grid.domain.ndim))
+        axis = data.draw(st.integers(0, grid.domain.ndim - 1))
+        frac = data.draw(st.floats(min_value=0.1, max_value=0.9))
+        cut = query.low[axis] + frac * (query.high[axis] - query.low[axis])
+        if not (query.low[axis] < cut < query.high[axis]):
+            return
+        left_high = list(query.high)
+        left_high[axis] = cut
+        right_low = list(query.low)
+        right_low[axis] = cut
+        left = Box(query.low, tuple(left_high))
+        right = Box(tuple(right_low), query.high)
+        total = grid.range_count(query)
+        parts = grid.range_count(left) + grid.range_count(right)
+        assert np.isclose(total, parts, rtol=1e-9, atol=1e-9)
+
+    @given(grid=grids(), data=st.data())
+    @settings(max_examples=60)
+    def test_monotone_in_query(self, grid, data):
+        query = data.draw(queries_in(grid.domain.ndim))
+        grown = Box(
+            tuple(max(0.0, lo - 0.05) for lo in query.low),
+            tuple(min(1.0, hi + 0.05) for hi in query.high),
+        )
+        assert grid.range_count(query) <= grid.range_count(grown) + 1e-9
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_exact_on_cell_aligned_queries(self, data):
+        seed = data.draw(st.integers(0, 2**31))
+        gen = np.random.default_rng(seed)
+        pts = gen.uniform(0, 1, size=(200, 2)) * 0.999999
+        dataset = SpatialDataset(pts, Box.unit(2))
+        m = data.draw(st.integers(min_value=1, max_value=8))
+        grid = UniformGrid.histogram(dataset, (m, m))
+        i = data.draw(st.integers(0, m - 1))
+        j = data.draw(st.integers(0, m - 1))
+        cell = grid.cell_box((i, j))
+        assert np.isclose(grid.range_count(cell), dataset.count_in(cell))
+
+
+class TestLinearizationProperties:
+    @given(
+        exponent=st.integers(min_value=0, max_value=5),
+        ndim=st.integers(min_value=1, max_value=3),
+    )
+    def test_orders_are_permutations(self, exponent, ndim):
+        m = 2**exponent
+        order = linear_order(m, ndim)
+        assert sorted(order) == list(range(m**ndim))
+
+    @given(exponent=st.integers(min_value=1, max_value=5))
+    def test_morton_first_cell_is_origin(self, exponent):
+        m = 2**exponent
+        assert morton_order(m, 2)[0] == 0

@@ -1,0 +1,62 @@
+"""Property-based tests for the Haar transform used by Privelet."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import haar_forward, haar_inverse, haar_weights
+
+
+@st.composite
+def power_of_two_vectors(draw):
+    exponent = draw(st.integers(min_value=0, max_value=7))
+    n = 2**exponent
+    return draw(
+        arrays(
+            float,
+            n,
+            elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        )
+    )
+
+
+class TestHaarProperties:
+    @given(x=power_of_two_vectors())
+    def test_roundtrip(self, x):
+        np.testing.assert_allclose(
+            haar_inverse(haar_forward(x)), x, rtol=1e-9, atol=1e-6
+        )
+
+    @given(x=power_of_two_vectors())
+    def test_base_coefficient_is_mean(self, x):
+        assert np.isclose(haar_forward(x)[0], x.mean(), rtol=1e-9, atol=1e-6)
+
+    @given(x=power_of_two_vectors(), y=power_of_two_vectors())
+    @settings(max_examples=50)
+    def test_linearity(self, x, y):
+        if x.shape != y.shape:
+            return
+        np.testing.assert_allclose(
+            haar_forward(x + y),
+            haar_forward(x) + haar_forward(y),
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+    @given(exponent=st.integers(min_value=0, max_value=10), leaf=st.integers(0, 1023))
+    @settings(max_examples=60)
+    def test_weighted_sensitivity_exactly_h_plus_one(self, exponent, leaf):
+        n = 2**exponent
+        leaf = leaf % n
+        unit = np.zeros(n)
+        unit[leaf] = 1.0
+        delta = haar_forward(unit)
+        weighted = np.abs(delta) @ haar_weights(n)
+        assert np.isclose(weighted, exponent + 1, rtol=1e-9)
+
+    @given(x=power_of_two_vectors())
+    def test_transform_preserves_total(self, x):
+        # Base coefficient times n recovers the total mass.
+        coeffs = haar_forward(x)
+        assert np.isclose(coeffs[0] * x.size, x.sum(), rtol=1e-9, atol=1e-5)

@@ -1,0 +1,72 @@
+"""Property-based tests for the Laplace distribution utilities."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms import (
+    laplace_cdf,
+    laplace_logcdf,
+    laplace_logsf,
+    laplace_pdf,
+    laplace_sf,
+)
+
+scales = st.floats(min_value=1e-3, max_value=1e3)
+reals = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestDistributionProperties:
+    @given(x=reals, scale=scales, loc=reals)
+    def test_cdf_plus_sf_is_one(self, x, scale, loc):
+        assert math.isclose(
+            laplace_cdf(x, scale, loc) + laplace_sf(x, scale, loc), 1.0,
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+
+    @given(x=reals, scale=scales)
+    def test_cdf_in_unit_interval(self, x, scale):
+        assert 0.0 <= laplace_cdf(x, scale) <= 1.0
+
+    @given(x=reals, y=reals, scale=scales)
+    def test_cdf_monotone(self, x, y, scale):
+        lo, hi = min(x, y), max(x, y)
+        assert laplace_cdf(lo, scale) <= laplace_cdf(hi, scale) + 1e-15
+
+    @given(x=reals, scale=scales)
+    def test_pdf_nonnegative_and_bounded(self, x, scale):
+        value = laplace_pdf(x, scale)
+        assert 0.0 <= value <= 1.0 / (2.0 * scale) + 1e-15
+
+    @given(x=reals, scale=scales, loc=reals)
+    def test_symmetry_about_loc(self, x, scale, loc):
+        left = laplace_cdf(loc - abs(x - loc), scale, loc)
+        right = laplace_sf(loc + abs(x - loc), scale, loc)
+        assert math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(x=st.floats(min_value=-200, max_value=200), scale=scales)
+    def test_log_functions_consistent(self, x, scale):
+        # Where the linear-space value does not underflow, logs must agree.
+        # abs_tol covers probabilities within double rounding of 1, where
+        # the log1p-based implementation is *more* accurate than log(sf).
+        sf = laplace_sf(x, scale)
+        if sf > 1e-300:
+            assert math.isclose(
+                laplace_logsf(x, scale), math.log(sf), rel_tol=1e-6, abs_tol=1e-9
+            )
+        cdf = laplace_cdf(x, scale)
+        if cdf > 1e-300:
+            assert math.isclose(
+                laplace_logcdf(x, scale), math.log(cdf), rel_tol=1e-6, abs_tol=1e-9
+            )
+
+    @given(x=reals, shift=st.floats(min_value=0, max_value=50), scale=scales)
+    @settings(max_examples=50)
+    def test_dp_likelihood_ratio_bound(self, x, shift, scale):
+        # The defining DP property of the Laplace mechanism: shifting the
+        # location by s changes ln Pr[> x] by at most s/scale.
+        shift = min(shift, 5 * scale)  # keep the ratio numerically stable
+        a = laplace_logsf(x, scale, loc=0.0)
+        b = laplace_logsf(x, scale, loc=shift)
+        assert abs(a - b) <= shift / scale + 1e-7

@@ -1,0 +1,124 @@
+"""Property-based tests for sequence structures and scores."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import (
+    Alphabet,
+    PSTNodeData,
+    SequenceDataset,
+    equation_13_score,
+    length_distribution,
+    total_variation_distance,
+)
+
+
+@st.composite
+def datasets(draw):
+    size = draw(st.integers(min_value=1, max_value=4))
+    alphabet = Alphabet.of_size(size)
+    n = draw(st.integers(min_value=1, max_value=20))
+    seqs = [
+        np.asarray(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=size - 1),
+                    min_size=0,
+                    max_size=12,
+                )
+            ),
+            dtype=np.int64,
+        )
+        for _ in range(n)
+    ]
+    return SequenceDataset(alphabet=alphabet, sequences=tuple(seqs))
+
+
+class TestTruncationProperties:
+    @given(data=datasets(), l_top=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=60)
+    def test_token_lengths_bounded(self, data, l_top):
+        store = data.truncate(l_top)
+        assert (store.token_lengths() <= l_top).all()
+
+    @given(data=datasets(), l_top=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=60)
+    def test_prediction_positions_match_token_lengths(self, data, l_top):
+        store = data.truncate(l_top)
+        positions, _ = store.prediction_positions()
+        assert len(positions) == int(store.token_lengths().sum())
+
+    @given(data=datasets(), l_top=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=40)
+    def test_children_partition_occurrences(self, data, l_top):
+        store = data.truncate(l_top)
+        root = PSTNodeData.root(store)
+        if not root.can_split():
+            return
+        children = root.split()
+        assert sum(len(c.occurrences) for c in children) == len(root.occurrences)
+        np.testing.assert_array_equal(
+            sum(c.hist() for c in children), root.hist()
+        )
+
+    @given(data=datasets(), l_top=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=30)
+    def test_lemma_4_1_monotone_scores_two_levels(self, data, l_top):
+        store = data.truncate(l_top)
+        root = PSTNodeData.root(store)
+        for child in root.split():
+            assert child.score() <= root.score() + 1e-12
+            if child.can_split():
+                for grand in child.split():
+                    assert grand.score() <= child.score() + 1e-12
+
+
+class TestEquation13Properties:
+    @given(
+        hist=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=20)
+    )
+    def test_score_bounds(self, hist):
+        arr = np.asarray(hist)
+        score = equation_13_score(arr)
+        assert 0.0 <= score <= arr.sum()
+
+    @given(
+        hist=st.lists(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=20),
+        idx=st.integers(min_value=0, max_value=19),
+        bump=st.integers(min_value=1, max_value=100),
+    )
+    def test_score_changes_by_at_most_bump(self, hist, idx, bump):
+        # The sensitivity fact behind Theorem 4.1: adding occurrences to one
+        # histogram cell moves the score by at most that many units.
+        arr = np.asarray(hist)
+        bumped = arr.copy()
+        bumped[idx % len(arr)] += bump
+        assert abs(equation_13_score(bumped) - equation_13_score(arr)) <= bump
+
+
+class TestMetricsProperties:
+    @given(
+        lengths=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=200),
+        cap=st.integers(min_value=1, max_value=50),
+    )
+    def test_length_distribution_is_distribution(self, lengths, cap):
+        dist = length_distribution(lengths, max_length=cap)
+        assert np.isclose(dist.sum(), 1.0)
+        assert (dist >= 0).all()
+        assert dist.shape == (cap + 1,)
+
+    @given(
+        a=st.lists(st.floats(min_value=0.01, max_value=10), min_size=2, max_size=20),
+        b=st.lists(st.floats(min_value=0.01, max_value=10), min_size=2, max_size=20),
+    )
+    @settings(max_examples=60)
+    def test_tvd_is_a_metric_on_matching_support(self, a, b):
+        if len(a) != len(b):
+            return
+        p = np.asarray(a) / np.sum(a)
+        q = np.asarray(b) / np.sum(b)
+        tvd = total_variation_distance(p, q)
+        assert 0.0 <= tvd <= 1.0 + 1e-12
+        assert np.isclose(total_variation_distance(p, p), 0.0)
+        assert np.isclose(tvd, total_variation_distance(q, p))

@@ -1,0 +1,91 @@
+"""Property-based round-trip tests for the release serializers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains import Box
+from repro.sequence import Alphabet, pst_from_dict, pst_to_dict
+from repro.sequence.pst import PredictionSuffixTree, PSTNode
+from repro.spatial import tree_from_dict, tree_to_dict
+from repro.spatial.histogram_tree import HistogramNode, HistogramTree
+
+counts = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def histogram_trees(draw, box=None, depth=0):
+    box = box or Box.unit(2)
+    count = draw(counts)
+    children = []
+    if depth < 3 and draw(st.booleans()):
+        children = [
+            draw(histogram_trees(box=child, depth=depth + 1))
+            for child in box.bisect()
+        ]
+    return HistogramNode(box=box, count=count, children=children)
+
+
+@st.composite
+def psts(draw):
+    size = draw(st.integers(min_value=1, max_value=3))
+    alphabet = Alphabet.of_size(size)
+
+    def node(context, depth):
+        hist = np.asarray(
+            draw(
+                st.lists(
+                    st.floats(min_value=0, max_value=1e5),
+                    min_size=alphabet.hist_size,
+                    max_size=alphabet.hist_size,
+                )
+            )
+        )
+        children = {}
+        if depth < 2 and draw(st.booleans()):
+            for code in list(range(size)) + [alphabet.start_code]:
+                children[code] = node((code,) + context, depth + 1)
+        return PSTNode(context=context, hist=hist, children=children)
+
+    return PredictionSuffixTree(alphabet=alphabet, root=node((), 0))
+
+
+class TestHistogramTreeRoundTrip:
+    @given(root=histogram_trees())
+    @settings(max_examples=60)
+    def test_structure_and_counts_preserved(self, root):
+        tree = HistogramTree(root=root)
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.size == tree.size
+        originals = [(n.box, n.count) for n in tree.root.iter_nodes()]
+        restoreds = [(n.box, n.count) for n in restored.root.iter_nodes()]
+        for (box_a, count_a), (box_b, count_b) in zip(originals, restoreds):
+            assert box_a == box_b
+            assert count_a == count_b
+
+    @given(root=histogram_trees())
+    @settings(max_examples=30)
+    def test_query_equivalence(self, root):
+        tree = HistogramTree(root=root)
+        restored = tree_from_dict(tree_to_dict(tree))
+        query = Box((0.25, 0.1), (0.8, 0.7))
+        assert restored.range_count(query) == tree.range_count(query)
+
+
+class TestPstRoundTrip:
+    @given(model=psts())
+    @settings(max_examples=60)
+    def test_structure_preserved(self, model):
+        restored = pst_from_dict(pst_to_dict(model))
+        assert restored.size == model.size
+        assert restored.alphabet == model.alphabet
+        np.testing.assert_allclose(restored.root.hist, model.root.hist)
+
+    @given(model=psts())
+    @settings(max_examples=30)
+    def test_frequency_equivalence(self, model):
+        restored = pst_from_dict(pst_to_dict(model))
+        for code in range(model.alphabet.size):
+            assert restored.string_frequency((code,)) == model.string_frequency(
+                (code,)
+            )

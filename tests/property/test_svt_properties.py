@@ -1,0 +1,63 @@
+"""Property-based tests for the SVT variants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svt import binary_svt, improved_svt, reduced_svt, vanilla_svt
+
+answer_streams = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestSvtInvariants:
+    @given(answers=answer_streams, seed=st.integers(0, 2**31))
+    def test_binary_outputs_one_per_query(self, answers, seed):
+        out = binary_svt(answers, theta=0.0, lam=1.0, rng=seed)
+        assert len(out) == len(answers)
+        assert set(out) <= {0, 1}
+
+    @given(answers=answer_streams, t=st.integers(1, 5), seed=st.integers(0, 2**31))
+    def test_vanilla_at_most_t_releases(self, answers, t, seed):
+        out = vanilla_svt(answers, theta=0.0, lam=1.0, t=t, rng=seed)
+        released = [o for o in out if o is not None]
+        assert len(released) <= t
+        assert len(out) <= len(answers)
+
+    @given(answers=answer_streams, t=st.integers(1, 5), seed=st.integers(0, 2**31))
+    def test_reduced_and_improved_stop_at_t(self, answers, t, seed):
+        for algorithm in (reduced_svt, improved_svt):
+            out = algorithm(answers, theta=0.0, lam=1.0, t=t, rng=seed)
+            assert sum(out) <= t
+            # The stream stops exactly at the t-th positive (if reached).
+            if sum(out) == t:
+                assert out[-1] == 1
+
+    @given(answers=answer_streams, seed=st.integers(0, 2**31))
+    @settings(max_examples=50)
+    def test_noiseless_limit_all_variants_agree_with_thresholding(
+        self, answers, seed
+    ):
+        # Exclude answers that sit exactly on the threshold.
+        if any(abs(a) < 1e-6 for a in answers):
+            return
+        expected = [1 if a > 0 else 0 for a in answers]
+        t = len(answers) + 1  # never stop early
+        assert binary_svt(answers, 0.0, 1e-12, rng=seed) == expected
+        assert reduced_svt(answers, 0.0, 1e-12, t=t, rng=seed) == expected
+        assert improved_svt(answers, 0.0, 1e-12, t=t, rng=seed) == expected
+        vanilla = vanilla_svt(answers, 0.0, 1e-12, t=t, rng=seed)
+        for answer, out in zip(answers, vanilla):
+            if answer > 0:
+                assert out is not None and abs(out - answer) < 1e-3
+            else:
+                assert out is None
+
+    @given(answers=answer_streams, seed=st.integers(0, 2**31))
+    def test_deterministic_given_seed(self, answers, seed):
+        a = binary_svt(answers, theta=1.0, lam=2.0, rng=seed)
+        b = binary_svt(answers, theta=1.0, lam=2.0, rng=seed)
+        assert a == b

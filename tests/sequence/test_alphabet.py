@@ -1,0 +1,54 @@
+"""Tests for alphabets and symbol encoding."""
+
+import numpy as np
+import pytest
+
+from repro.sequence import Alphabet, END_SYMBOL, START_SYMBOL
+
+
+class TestAlphabet:
+    def test_codes_layout(self):
+        alpha = Alphabet(("A", "B", "C"))
+        assert alpha.size == 3
+        assert alpha.end_code == 3
+        assert alpha.start_code == 4
+        assert alpha.hist_size == 4
+        assert alpha.pst_fanout == 4
+
+    def test_code_roundtrip(self):
+        alpha = Alphabet(("x", "y"))
+        for sym in ("x", "y", END_SYMBOL, START_SYMBOL):
+            assert alpha.symbol_of(alpha.code_of(sym)) == sym
+
+    def test_encode_decode(self):
+        alpha = Alphabet(("a", "b"))
+        codes = alpha.encode(["a", "b", "a"])
+        np.testing.assert_array_equal(codes, [0, 1, 0])
+        assert alpha.decode(codes) == ["a", "b", "a"]
+
+    def test_encode_rejects_sentinels(self):
+        alpha = Alphabet(("a",))
+        with pytest.raises(ValueError):
+            alpha.encode(["a", END_SYMBOL])
+
+    def test_unknown_symbol(self):
+        alpha = Alphabet(("a",))
+        with pytest.raises(KeyError):
+            alpha.code_of("z")
+        with pytest.raises(KeyError):
+            alpha.symbol_of(99)
+
+    def test_of_size(self):
+        alpha = Alphabet.of_size(7)
+        assert alpha.size == 7
+        assert len(set(alpha.symbols)) == 7
+
+    def test_invalid_alphabets(self):
+        with pytest.raises(ValueError):
+            Alphabet(())
+        with pytest.raises(ValueError):
+            Alphabet(("a", "a"))
+        with pytest.raises(ValueError):
+            Alphabet(("a", END_SYMBOL))
+        with pytest.raises(ValueError):
+            Alphabet.of_size(0)

@@ -1,0 +1,96 @@
+"""Tests for sequence datasets and l_top truncation."""
+
+import numpy as np
+import pytest
+
+from repro.sequence import Alphabet, SequenceDataset
+
+
+@pytest.fixture
+def alpha() -> Alphabet:
+    return Alphabet(("A", "B"))
+
+
+@pytest.fixture
+def small(alpha) -> SequenceDataset:
+    """The Figure 3 dataset: $B&, $AB&, $AAB&, $AAAB&."""
+    return SequenceDataset.from_symbols(
+        alpha, [["B"], ["A", "B"], ["A", "A", "B"], ["A", "A", "A", "B"]]
+    )
+
+
+class TestSequenceDataset:
+    def test_basic_stats(self, small):
+        assert small.n == 4
+        np.testing.assert_array_equal(small.lengths(), [1, 2, 3, 4])
+        assert small.average_length == pytest.approx(2.5)
+
+    def test_n_longer_than(self, small):
+        assert small.n_longer_than(3) == 2  # lengths 3 and 4 reach the rule
+        assert small.n_longer_than(10) == 0
+
+    def test_length_quantile(self, small):
+        # Token lengths (symbols + &) are 2,3,4,5.
+        assert small.length_quantile(1.0) == 5
+
+    def test_invalid_codes_rejected(self, alpha):
+        with pytest.raises(ValueError):
+            SequenceDataset(alphabet=alpha, sequences=(np.array([0, 5]),))
+        with pytest.raises(ValueError):
+            SequenceDataset(alphabet=alpha, sequences=(np.array([[0], [1]]),))
+
+    def test_empty_sequence_allowed(self, alpha):
+        data = SequenceDataset(alphabet=alpha, sequences=(np.array([], dtype=int),))
+        assert data.lengths()[0] == 0
+
+
+class TestTruncation:
+    def test_no_truncation_keeps_end_marker(self, small, alpha):
+        store = small.truncate(l_top=10)
+        assert store.n_truncated == 0
+        tokens = store.sequence_tokens(0)
+        assert tokens[0] == alpha.start_code
+        assert tokens[-1] == alpha.end_code
+
+    def test_truncation_drops_end_marker(self, small, alpha):
+        store = small.truncate(l_top=3)
+        # Sequences with >= 3 symbols (lengths 3, 4) are truncated.
+        assert store.n_truncated == 2
+        longest = store.sequence_tokens(3)
+        np.testing.assert_array_equal(
+            longest, [alpha.start_code, 0, 0, 0]
+        )  # $AAA, open-ended
+
+    def test_token_lengths_bounded_by_l_top(self, small):
+        store = small.truncate(l_top=3)
+        assert (store.token_lengths() <= 3).all()
+
+    def test_symbol_lengths(self, small):
+        store = small.truncate(l_top=3)
+        np.testing.assert_array_equal(store.symbol_lengths(), [1, 2, 3, 3])
+
+    def test_prediction_positions_count(self, small):
+        # Without truncation: each sequence contributes len(symbols)+1
+        # prediction positions (symbols plus &): 2+3+4+5 = 14.
+        store = small.truncate(l_top=10)
+        positions, starts = store.prediction_positions()
+        assert len(positions) == 14
+        assert len(starts) == 14
+
+    def test_prediction_positions_have_correct_starts(self, small, alpha):
+        store = small.truncate(l_top=10)
+        positions, starts = store.prediction_positions()
+        for pos, start in zip(positions, starts):
+            assert store.flat[start] == alpha.start_code
+            assert start <= pos
+
+    def test_invalid_l_top(self, small):
+        with pytest.raises(ValueError):
+            small.truncate(0)
+
+    def test_empty_dataset(self, alpha):
+        data = SequenceDataset(alphabet=alpha, sequences=())
+        store = data.truncate(5)
+        assert store.n == 0
+        positions, starts = store.prediction_positions()
+        assert len(positions) == 0

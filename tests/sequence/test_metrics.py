@@ -1,0 +1,78 @@
+"""Tests for sequence task metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sequence import (
+    length_distribution,
+    top_k_precision,
+    total_variation_distance,
+)
+
+
+class TestPrecision:
+    def test_perfect_match(self):
+        exact = [(0,), (1,), (0, 1)]
+        assert top_k_precision(exact, exact) == 1.0
+
+    def test_partial_match(self):
+        exact = [(0,), (1,), (2,), (3,)]
+        returned = [(0,), (1,), (9,), (8,)]
+        assert top_k_precision(exact, returned) == pytest.approx(0.5)
+
+    def test_no_match(self):
+        assert top_k_precision([(0,)], [(1,)]) == 0.0
+
+    def test_empty_exact_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_precision([], [(0,)])
+
+
+class TestLengthDistribution:
+    def test_simple_histogram(self):
+        dist = length_distribution([1, 1, 2, 3], max_length=4)
+        np.testing.assert_allclose(dist, [0, 0.5, 0.25, 0.25, 0])
+
+    def test_clamping_above_max(self):
+        dist = length_distribution([1, 10], max_length=3)
+        assert dist[3] == pytest.approx(0.5)
+
+    def test_sums_to_one(self):
+        gen = np.random.default_rng(0)
+        dist = length_distribution(gen.integers(0, 20, 100), max_length=25)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            length_distribution([], max_length=5)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert total_variation_distance(
+            np.array([0.6, 0.4]), np.array([0.4, 0.6])
+        ) == pytest.approx(0.2)
+
+    def test_symmetry(self, rng):
+        p = rng.dirichlet(np.ones(8))
+        q = rng.dirichlet(np.ones(8))
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([0.5, 0.5]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([0.9, 0.3]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.5, -0.5]), np.array([0.5, 0.5]))

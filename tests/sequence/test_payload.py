@@ -1,0 +1,106 @@
+"""Tests for the PST node payload (Equation 13 score, occurrence filtering)."""
+
+import numpy as np
+import pytest
+
+from repro.sequence import (
+    Alphabet,
+    PSTNodeData,
+    SequenceDataset,
+    equation_13_score,
+)
+
+
+@pytest.fixture
+def alpha() -> Alphabet:
+    return Alphabet(("A", "B"))
+
+
+@pytest.fixture
+def store(alpha):
+    data = SequenceDataset.from_symbols(
+        alpha, [["B"], ["A", "B"], ["A", "A", "B"], ["A", "A", "A", "B"]]
+    )
+    return data.truncate(l_top=10)
+
+
+class TestEquation13:
+    def test_definition(self):
+        assert equation_13_score(np.array([6, 4, 4])) == 8.0
+
+    def test_zero_for_empty(self):
+        assert equation_13_score(np.array([0, 0, 0])) == 0.0
+        assert equation_13_score(np.array([])) == 0.0
+
+    def test_small_when_dominated(self):
+        # Low entropy: one count dominates -> small score (condition C3).
+        assert equation_13_score(np.array([100, 1, 0])) == 1.0
+
+    def test_small_when_small_magnitude(self):
+        # Small magnitude -> small score (condition C2).
+        assert equation_13_score(np.array([1, 1, 1])) == 2.0
+
+
+class TestPSTNodeData:
+    def test_root_score_fig3(self, store):
+        root = PSTNodeData.root(store)
+        assert root.score() == 8.0  # 14 - 6
+
+    def test_root_hist(self, store):
+        np.testing.assert_array_equal(PSTNodeData.root(store).hist(), [6, 4, 4])
+
+    def test_split_produces_fanout_children(self, store, alpha):
+        children = PSTNodeData.root(store).split()
+        assert len(children) == alpha.pst_fanout  # |I| + 1 = 3
+        contexts = {c.context for c in children}
+        assert contexts == {(0,), (1,), (alpha.start_code,)}
+
+    def test_children_partition_occurrences(self, store):
+        root = PSTNodeData.root(store)
+        children = root.split()
+        assert sum(len(c.occurrences) for c in children) == len(root.occurrences)
+
+    def test_monotone_score_lemma_4_1(self, store):
+        # Lemma 4.1: c(child) <= c(parent), recursively checked.
+        frontier = [PSTNodeData.root(store)]
+        while frontier:
+            node = frontier.pop()
+            if not node.can_split() or len(node.context) > 3:
+                continue
+            for child in node.split():
+                assert child.score() <= node.score() + 1e-12
+                frontier.append(child)
+
+    def test_start_prefixed_cannot_split(self, store, alpha):
+        start_child = [
+            c
+            for c in PSTNodeData.root(store).split()
+            if c.context[0] == alpha.start_code
+        ][0]
+        assert not start_child.can_split()
+        with pytest.raises(ValueError):
+            start_child.split()
+
+    def test_grandchild_contexts_prepend(self, store, alpha):
+        a_child = PSTNodeData.root(store).split()[0]  # context (A,)
+        grand = a_child.split()
+        contexts = {g.context for g in grand}
+        assert contexts == {
+            (0, 0),
+            (1, 0),
+            (alpha.start_code, 0),
+        }
+
+    def test_hist_cached(self, store):
+        root = PSTNodeData.root(store)
+        assert root.hist() is root.hist()
+
+    def test_truncated_store_counts(self, alpha):
+        # $AAAB& truncated at l_top=3 becomes $AAA: the final A has no
+        # successor in the histogram sense... it *is* a prediction position
+        # whose own preceding context exists; positions = 3 tokens.
+        data = SequenceDataset.from_symbols(alpha, [["A", "A", "A", "B"]])
+        store = data.truncate(3)
+        root = PSTNodeData.root(store)
+        # Tokens: $ A A A -> prediction positions are the three As.
+        np.testing.assert_array_equal(root.hist(), [3, 0, 0])

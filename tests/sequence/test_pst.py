@@ -1,0 +1,165 @@
+"""Tests for the PST: the Figure 3 worked example and query/sampling logic."""
+
+import numpy as np
+import pytest
+
+from repro.sequence import (
+    Alphabet,
+    PredictionSuffixTree,
+    SequenceDataset,
+    exact_pst,
+)
+
+
+@pytest.fixture
+def alpha() -> Alphabet:
+    return Alphabet(("A", "B"))
+
+
+@pytest.fixture
+def fig3(alpha) -> SequenceDataset:
+    """The paper's Figure 3 dataset: $B&, $AB&, $AAB&, $AAAB&."""
+    return SequenceDataset.from_symbols(
+        alpha, [["B"], ["A", "B"], ["A", "A", "B"], ["A", "A", "A", "B"]]
+    )
+
+
+@pytest.fixture
+def fig3_pst(fig3) -> PredictionSuffixTree:
+    return exact_pst(fig3, l_top=10, split_threshold=-1.0, max_context=2)
+
+
+def hist_of(pst, context_symbols, alpha):
+    codes = tuple(alpha.code_of(s) for s in context_symbols)
+    for node in pst.root.iter_nodes():
+        if node.context == codes:
+            return node.hist
+    raise AssertionError(f"node {context_symbols} not found")
+
+
+class TestFigure3:
+    def test_root_histogram(self, fig3_pst, alpha):
+        # hist(v1): A:6, B:4, &:4
+        np.testing.assert_allclose(hist_of(fig3_pst, [], alpha), [6, 4, 4])
+
+    def test_node_a(self, fig3_pst, alpha):
+        # hist(v3) with dom = A: A:3, B:3, &:0
+        np.testing.assert_allclose(hist_of(fig3_pst, ["A"], alpha), [3, 3, 0])
+
+    def test_node_aa(self, fig3_pst, alpha):
+        # hist(v6) with dom = AA: A:1, B:2, &:0
+        np.testing.assert_allclose(hist_of(fig3_pst, ["A", "A"], alpha), [1, 2, 0])
+
+    def test_node_start_a(self, fig3_pst, alpha):
+        # hist(v5) with dom = $A: A:2, B:1, &:0
+        np.testing.assert_allclose(hist_of(fig3_pst, ["$", "A"], alpha), [2, 1, 0])
+
+    def test_node_ba_empty(self, fig3_pst, alpha):
+        # hist(v7) with dom = BA: all zero
+        np.testing.assert_allclose(hist_of(fig3_pst, ["B", "A"], alpha), [0, 0, 0])
+
+    def test_node_b(self, fig3_pst, alpha):
+        # hist(v4) with dom = B: A:0, B:0, &:4
+        np.testing.assert_allclose(hist_of(fig3_pst, ["B"], alpha), [0, 0, 4])
+
+    def test_node_start(self, fig3_pst, alpha):
+        # hist(v2) with dom = $: A:3, B:1, &:0
+        np.testing.assert_allclose(hist_of(fig3_pst, ["$"], alpha), [3, 1, 0])
+
+    def test_query_ab_worked_example(self, fig3_pst):
+        # Section 4.1's worked example: freq(AB) = 6 * 3/6 = 3.
+        assert fig3_pst.string_frequency_of(["A", "B"]) == pytest.approx(3.0)
+
+    def test_children_partition_occurrences(self, fig3_pst):
+        for node in fig3_pst.root.iter_nodes():
+            if not node.is_leaf:
+                child_sum = sum(c.hist for c in node.children.values())
+                np.testing.assert_allclose(child_sum, node.hist)
+
+
+class TestLookup:
+    def test_longest_suffix_match(self, fig3_pst, alpha):
+        # Context "AA" should land on the AA node.
+        node = fig3_pst.lookup([alpha.code_of("A"), alpha.code_of("A")])
+        assert node.context == (alpha.code_of("A"), alpha.code_of("A"))
+
+    def test_unknown_context_falls_back(self, fig3_pst, alpha):
+        # Context "AAA": the tree only reaches depth 2, so the walk stops at
+        # the longest recorded suffix AA.
+        a = alpha.code_of("A")
+        node = fig3_pst.lookup([a, a, a])
+        assert node.context == (a, a)
+
+    def test_empty_context_is_root(self, fig3_pst):
+        assert fig3_pst.lookup([]) is fig3_pst.root
+
+
+class TestQueries:
+    def test_single_symbol_frequency(self, fig3_pst):
+        assert fig3_pst.string_frequency_of(["A"]) == pytest.approx(6.0)
+        assert fig3_pst.string_frequency_of(["B"]) == pytest.approx(4.0)
+
+    def test_longer_string(self, fig3_pst):
+        # freq(AA): 6 * P(A|A) = 6 * 3/6 = 3 (true count: 3).
+        assert fig3_pst.string_frequency_of(["A", "A"]) == pytest.approx(3.0)
+
+    def test_zero_probability_string(self, fig3_pst, alpha):
+        # "BA" never occurs: after B the histogram gives & only.
+        assert fig3_pst.string_frequency_of(["B", "A"]) == pytest.approx(0.0)
+
+    def test_rejects_bad_queries(self, fig3_pst, alpha):
+        with pytest.raises(ValueError):
+            fig3_pst.string_frequency([])
+        with pytest.raises(ValueError):
+            fig3_pst.string_frequency([alpha.end_code])
+
+
+class TestSampling:
+    def test_samples_match_support(self, fig3_pst, alpha):
+        # The model was built from A*B sequences; samples should be A*B.
+        gen = np.random.default_rng(0)
+        for _ in range(50):
+            seq = fig3_pst.sample_sequence(gen, max_length=20)
+            decoded = "".join(alpha.decode(seq))
+            assert set(decoded) <= {"A", "B"}
+            if "B" in decoded:
+                assert decoded.endswith("B")
+                assert "BA" not in decoded and "BB" not in decoded
+
+    def test_max_length_cap(self, fig3_pst):
+        seq = fig3_pst.sample_sequence(rng=1, max_length=2)
+        assert len(seq) <= 2
+
+    def test_sample_dataset_size(self, fig3_pst):
+        assert len(fig3_pst.sample_dataset(7, rng=2)) == 7
+
+
+class TestTopK:
+    def test_top1_is_most_frequent_symbol(self, fig3_pst, alpha):
+        top = fig3_pst.top_k_strings(1)
+        assert top[0][0] == (alpha.code_of("A"),)
+
+    def test_estimates_non_increasing(self, fig3_pst):
+        top = fig3_pst.top_k_strings(6)
+        ests = [est for _, est in top]
+        assert all(a >= b - 1e-9 for a, b in zip(ests, ests[1:]))
+
+    def test_k_results_returned(self, fig3_pst):
+        assert len(fig3_pst.top_k_strings(5)) == 5
+
+    def test_invalid_k(self, fig3_pst):
+        with pytest.raises(ValueError):
+            fig3_pst.top_k_strings(0)
+
+
+class TestStructureProperties:
+    def test_size_and_height(self, fig3_pst):
+        # root + children {A, B, $} + grandchildren of A and B (3 each;
+        # the $ child cannot split): 1 + 3 + 6 = 10.
+        assert fig3_pst.size == 10
+        assert fig3_pst.height == 2
+
+    def test_start_prefixed_nodes_are_leaves(self, fig3_pst, alpha):
+        for node in fig3_pst.root.iter_nodes():
+            if node.context and node.context[0] == alpha.start_code:
+                assert node.is_leaf

@@ -1,0 +1,75 @@
+"""Tests for PST serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sequence import (
+    Alphabet,
+    SequenceDataset,
+    load_pst,
+    private_pst,
+    pst_from_dict,
+    pst_to_dict,
+    save_pst,
+)
+
+
+@pytest.fixture
+def model():
+    alpha = Alphabet(("A", "B"))
+    gen = np.random.default_rng(4)
+    seqs = tuple(
+        gen.choice(2, size=int(gen.integers(1, 10))).astype(np.int64)
+        for _ in range(500)
+    )
+    data = SequenceDataset(alphabet=alpha, sequences=seqs, name="ser")
+    return private_pst(data, epsilon=2.0, l_top=12, rng=0)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, model):
+        restored = pst_from_dict(pst_to_dict(model))
+        assert restored.size == model.size
+        assert restored.height == model.height
+        assert restored.alphabet == model.alphabet
+
+    def test_histograms_preserved(self, model):
+        restored = pst_from_dict(pst_to_dict(model))
+        np.testing.assert_allclose(restored.root.hist, model.root.hist)
+
+    def test_query_answers_preserved(self, model):
+        restored = pst_from_dict(pst_to_dict(model))
+        for codes in [(0,), (1,), (0, 1), (1, 1, 0)]:
+            assert restored.string_frequency(codes) == pytest.approx(
+                model.string_frequency(codes)
+            )
+
+    def test_sampling_identical_given_seed(self, model):
+        restored = pst_from_dict(pst_to_dict(model))
+        a = model.sample_sequence(rng=5, max_length=20)
+        b = restored.sample_sequence(rng=5, max_length=20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_file_roundtrip(self, model, tmp_path):
+        path = tmp_path / "pst.json"
+        save_pst(model, path)
+        restored = load_pst(path)
+        assert restored.size == model.size
+        # The document must be plain JSON with a header.
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro.prediction_suffix_tree"
+        assert doc["alphabet"] == ["A", "B"]
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            pst_from_dict({"format": "nope", "version": 1})
+
+    def test_wrong_version_rejected(self, model):
+        doc = pst_to_dict(model)
+        doc["version"] = 0
+        with pytest.raises(ValueError):
+            pst_from_dict(doc)

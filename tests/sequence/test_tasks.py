@@ -1,0 +1,61 @@
+"""Tests for substring counting and exact top-k mining."""
+
+import pytest
+
+from repro.sequence import Alphabet, SequenceDataset, count_substrings, exact_top_k
+
+
+@pytest.fixture
+def alpha() -> Alphabet:
+    return Alphabet(("A", "B"))
+
+
+@pytest.fixture
+def data(alpha) -> SequenceDataset:
+    # AAB, AB: substrings — A x3, B x2, AA x1, AB x2, AAB x1.
+    return SequenceDataset.from_symbols(alpha, [["A", "A", "B"], ["A", "B"]])
+
+
+class TestCountSubstrings:
+    def test_counts_occurrences_not_sequences(self, data):
+        counts = count_substrings(data, max_length=3)
+        assert counts[(0,)] == 3  # A occurs three times in total
+        assert counts[(1,)] == 2
+        assert counts[(0, 0)] == 1
+        assert counts[(0, 1)] == 2
+        assert counts[(0, 0, 1)] == 1
+
+    def test_repeated_occurrences_in_one_sequence(self, alpha):
+        data = SequenceDataset.from_symbols(alpha, [["A", "A", "A"]])
+        counts = count_substrings(data, max_length=2)
+        assert counts[(0,)] == 3
+        assert counts[(0, 0)] == 2  # overlapping occurrences both count
+
+    def test_max_length_respected(self, data):
+        counts = count_substrings(data, max_length=2)
+        assert (0, 0, 1) not in counts
+
+    def test_invalid_max_length(self, data):
+        with pytest.raises(ValueError):
+            count_substrings(data, max_length=0)
+
+
+class TestExactTopK:
+    def test_ordering(self, data):
+        top = exact_top_k(data, k=3)
+        assert top[0] == (0,)  # A: 3
+        # B and AB tie at 2; lexicographic tiebreak puts (0,1) before (1,).
+        assert set(top[1:]) == {(1,), (0, 1)}
+        assert top[1] == (0, 1)
+
+    def test_k_larger_than_candidates(self, alpha):
+        tiny = SequenceDataset.from_symbols(alpha, [["A"]])
+        top = exact_top_k(tiny, k=100)
+        assert top == [(0,)]
+
+    def test_deterministic(self, data):
+        assert exact_top_k(data, k=5) == exact_top_k(data, k=5)
+
+    def test_invalid_k(self, data):
+        with pytest.raises(ValueError):
+            exact_top_k(data, k=0)

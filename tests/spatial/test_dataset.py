@@ -1,0 +1,46 @@
+"""Tests for spatial datasets."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.spatial import SpatialDataset
+
+
+class TestSpatialDataset:
+    def test_basic_properties(self, uniform_2d):
+        assert uniform_2d.n == 5_000
+        assert uniform_2d.ndim == 2
+
+    def test_count_in(self):
+        pts = np.array([[0.1, 0.1], [0.9, 0.9], [0.2, 0.2]])
+        data = SpatialDataset(pts, Box.unit(2))
+        assert data.count_in(Box((0.0, 0.0), (0.5, 0.5))) == 2
+
+    def test_points_outside_domain_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDataset(np.array([[1.5, 0.5]]), Box.unit(2))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDataset(np.zeros((3, 3)), Box.unit(2))
+        with pytest.raises(ValueError):
+            SpatialDataset(np.zeros(3), Box.unit(2))
+
+    def test_from_points_bounding(self):
+        pts = np.random.default_rng(0).normal(5.0, 2.0, size=(100, 2))
+        data = SpatialDataset.from_points(pts, name="gauss")
+        assert data.n == 100
+        assert data.name == "gauss"
+        assert data.domain.contains_points(pts).all()
+
+    def test_restrict(self, uniform_2d):
+        sub_box = Box((0.0, 0.0), (0.5, 0.5))
+        sub = uniform_2d.restrict(sub_box)
+        assert sub.domain == sub_box
+        assert sub.n == uniform_2d.count_in(sub_box)
+
+    def test_empty_dataset_allowed(self):
+        data = SpatialDataset(np.zeros((0, 2)), Box.unit(2))
+        assert data.n == 0
+        assert data.count_in(Box.unit(2)) == 0

@@ -1,0 +1,49 @@
+"""Tests for the relative-error metric."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.spatial import (
+    SpatialDataset,
+    average_relative_error,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_exact_answer_zero_error(self):
+        assert relative_error(10.0, 10.0, smoothing=1.0) == 0.0
+
+    def test_error_normalized_by_exact(self):
+        assert relative_error(15.0, 10.0, smoothing=1.0) == pytest.approx(0.5)
+
+    def test_smoothing_floor_applies_to_small_counts(self):
+        # exact = 1 but smoothing = 100: denominator is 100.
+        assert relative_error(3.0, 1.0, smoothing=100.0) == pytest.approx(0.02)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 1.0, smoothing=0.0)
+
+
+class TestAverageRelativeError:
+    def test_perfect_oracle_zero(self, uniform_2d):
+        queries = [Box((0.1, 0.1), (0.6, 0.6)), Box((0.0, 0.0), (0.3, 0.9))]
+        err = average_relative_error(
+            lambda q: float(uniform_2d.count_in(q)), uniform_2d, queries
+        )
+        assert err == 0.0
+
+    def test_smoothing_uses_dataset_fraction(self):
+        # 1000 points, default smoothing 0.1% -> floor 1.0; a query with exact
+        # answer 0 and estimate 5 has error 5.0.
+        pts = np.full((1000, 2), 0.9)
+        data = SpatialDataset(pts, Box.unit(2))
+        empty_query = Box((0.0, 0.0), (0.1, 0.1))
+        err = average_relative_error(lambda q: 5.0, data, [empty_query])
+        assert err == pytest.approx(5.0)
+
+    def test_empty_workload_rejected(self, uniform_2d):
+        with pytest.raises(ValueError):
+            average_relative_error(lambda q: 0.0, uniform_2d, [])

@@ -1,0 +1,64 @@
+"""Tests for the spatial node payload."""
+
+import numpy as np
+import pytest
+
+from repro.spatial import SpatialDataset, SpatialNodeData
+
+
+class TestSpatialNodeData:
+    def test_root_covers_domain(self, uniform_2d):
+        root = SpatialNodeData.root(uniform_2d)
+        assert root.box == uniform_2d.domain
+        assert root.score() == uniform_2d.n
+
+    def test_default_fanout_is_2_pow_d(self, uniform_2d):
+        assert SpatialNodeData.root(uniform_2d).fanout == 4
+
+    def test_round_robin_fanout(self, uniform_2d):
+        root = SpatialNodeData.root(uniform_2d, dims_per_split=1)
+        assert root.fanout == 2
+
+    def test_split_partitions_points(self, uniform_2d):
+        root = SpatialNodeData.root(uniform_2d)
+        children = root.split()
+        assert len(children) == 4
+        assert sum(c.score() for c in children) == root.score()
+
+    def test_round_robin_rotates_dimensions(self, uniform_2d):
+        root = SpatialNodeData.root(uniform_2d, dims_per_split=1)
+        first = root.split()
+        # First split halves dim 0.
+        assert first[0].box.high[0] == pytest.approx(0.5)
+        assert first[0].box.high[1] == pytest.approx(1.0)
+        second = first[0].split()
+        # Second split (child) halves dim 1.
+        assert second[0].box.high[1] == pytest.approx(0.5)
+
+    def test_score_is_monotone_under_split(self, clustered_2d):
+        # The Section 3.5 requirement: children never outscore the parent.
+        node = SpatialNodeData.root(clustered_2d)
+        frontier = [node]
+        for _ in range(30):
+            if not frontier:
+                break
+            current = frontier.pop()
+            if not current.can_split():
+                continue
+            for child in current.split():
+                assert child.score() <= current.score()
+                frontier.append(child)
+
+    def test_invalid_dims_per_split(self, uniform_2d):
+        with pytest.raises(ValueError):
+            SpatialNodeData.root(uniform_2d, dims_per_split=0)
+        with pytest.raises(ValueError):
+            SpatialNodeData.root(uniform_2d, dims_per_split=3)
+
+    def test_4d_split_fanout(self):
+        pts = np.random.default_rng(0).uniform(0, 1, size=(100, 4)) * 0.999
+        from repro.domains import Box
+
+        data = SpatialDataset(pts, Box.unit(4))
+        assert SpatialNodeData.root(data).fanout == 16
+        assert SpatialNodeData.root(data, dims_per_split=2).fanout == 4

@@ -1,0 +1,65 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.spatial import QUERY_BANDS, QueryBand, generate_workload, random_query
+
+
+class TestBands:
+    def test_paper_bands(self):
+        assert QUERY_BANDS["small"].lo == pytest.approx(1e-4)
+        assert QUERY_BANDS["small"].hi == pytest.approx(1e-3)
+        assert QUERY_BANDS["medium"].hi == pytest.approx(1e-2)
+        assert QUERY_BANDS["large"].hi == pytest.approx(1e-1)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            QueryBand("bad", 0.5, 0.1)
+        with pytest.raises(ValueError):
+            QueryBand("bad", 0.0, 0.1)
+
+
+class TestRandomQuery:
+    def test_query_inside_domain(self, rng):
+        domain = Box((0.0, -5.0), (10.0, 5.0))
+        for _ in range(100):
+            q = random_query(domain, QUERY_BANDS["medium"], rng)
+            assert domain.contains_box(q)
+
+    def test_volume_fraction_in_band(self, rng):
+        domain = Box((0.0, 0.0), (4.0, 4.0))
+        band = QUERY_BANDS["large"]
+        for _ in range(200):
+            q = random_query(domain, band, rng)
+            fraction = q.volume / domain.volume
+            assert band.lo <= fraction < band.hi * 1.0000001
+
+    def test_4d_queries(self, rng):
+        domain = Box.unit(4)
+        band = QUERY_BANDS["small"]
+        for _ in range(50):
+            q = random_query(domain, band, rng)
+            assert q.ndim == 4
+            assert domain.contains_box(q)
+
+    def test_aspect_ratios_vary(self, rng):
+        domain = Box.unit(2)
+        ratios = []
+        for _ in range(200):
+            q = random_query(domain, QUERY_BANDS["medium"], rng)
+            ext = q.extents
+            ratios.append(ext[0] / ext[1])
+        assert np.std(np.log(ratios)) > 0.1
+
+
+class TestWorkload:
+    def test_size_and_band_string(self, rng):
+        queries = generate_workload(Box.unit(2), "small", 25, rng)
+        assert len(queries) == 25
+
+    def test_reproducible_with_seed(self):
+        a = generate_workload(Box.unit(2), "small", 5, rng=3)
+        b = generate_workload(Box.unit(2), "small", 5, rng=3)
+        assert all(x == y for x, y in zip(a, b))

@@ -1,0 +1,105 @@
+"""Tests for the four SVT variants."""
+
+import numpy as np
+import pytest
+
+from repro.svt import binary_svt, improved_svt, reduced_svt, vanilla_svt
+
+
+class TestBinarySvt:
+    def test_output_length_matches_queries(self, rng):
+        out = binary_svt([1.0, 2.0, 3.0], theta=2.0, lam=1.0, rng=rng)
+        assert len(out) == 3
+        assert set(out) <= {0, 1}
+
+    def test_noiseless_limit_thresholding(self):
+        out = binary_svt([10.0, -10.0, 10.0], theta=0.0, lam=1e-9, rng=0)
+        assert out == [1, 0, 1]
+
+    def test_deterministic_given_seed(self):
+        a = binary_svt([0.5] * 10, theta=0.0, lam=1.0, rng=3)
+        b = binary_svt([0.5] * 10, theta=0.0, lam=1.0, rng=3)
+        assert a == b
+
+    def test_invalid_lam(self):
+        with pytest.raises(ValueError):
+            binary_svt([1.0], theta=0.0, lam=0.0)
+
+
+class TestVanillaSvt:
+    def test_stops_after_t_releases(self):
+        out = vanilla_svt([100.0] * 10, theta=0.0, lam=1e-9, t=3, rng=0)
+        released = [o for o in out if o is not None]
+        assert len(released) == 3
+        assert len(out) == 3  # stream stopped at the third release
+
+    def test_below_threshold_yields_none(self):
+        out = vanilla_svt([-100.0] * 5, theta=0.0, lam=1e-9, t=2, rng=0)
+        assert out == [None] * 5
+
+    def test_released_values_are_noisy_answers(self):
+        out = vanilla_svt([50.0], theta=0.0, lam=0.01, t=1, rng=1)
+        assert out[0] == pytest.approx(50.0, abs=1.0)
+
+    def test_noise_scale_is_t_lam(self, rng):
+        # With t = 10 the released answers have scale 10*lam.
+        vals = []
+        for seed in range(400):
+            out = vanilla_svt([1000.0], theta=0.0, lam=1.0, t=10, rng=seed)
+            vals.append(out[0] - 1000.0)
+        assert np.std(vals) == pytest.approx(np.sqrt(2) * 10.0, rel=0.2)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            vanilla_svt([1.0], theta=0.0, lam=1.0, t=0)
+
+
+class TestReducedSvt:
+    def test_stops_after_t_positives(self):
+        out = reduced_svt([100.0] * 10, theta=0.0, lam=1e-9, t=2, rng=0)
+        assert sum(out) == 2
+        assert len(out) == 2
+
+    def test_zero_for_low_answers(self):
+        out = reduced_svt([-100.0] * 4, theta=0.0, lam=1e-9, t=2, rng=0)
+        assert out == [0, 0, 0, 0]
+
+    def test_binary_output(self, rng):
+        out = reduced_svt([0.0] * 20, theta=0.0, lam=1.0, t=5, rng=rng)
+        assert set(out) <= {0, 1}
+
+
+class TestImprovedSvt:
+    def test_stops_after_t_positives(self):
+        out = improved_svt([100.0] * 10, theta=0.0, lam=1e-9, t=2, rng=0)
+        assert sum(out) == 2
+        assert len(out) == 2
+
+    def test_matches_reduced_semantics_noiseless(self):
+        answers = [5.0, -5.0, 5.0, -5.0, 5.0]
+        red = reduced_svt(answers, theta=0.0, lam=1e-9, t=2, rng=0)
+        imp = improved_svt(answers, theta=0.0, lam=1e-9, t=2, rng=0)
+        assert red == imp == [1, 0, 1]
+
+    def test_fewer_false_positives_than_reduced(self):
+        # The improved variant perturbs the threshold with scale lam instead
+        # of t*lam, so a clearly-below-threshold answer is misclassified
+        # less often.  Single-query streams isolate the first decision.
+        t, lam, margin = 20, 1.0, 15.0
+
+        def false_positive_rate(fn) -> float:
+            hits = 0
+            trials = 4000
+            gen = np.random.default_rng(77)
+            for _ in range(trials):
+                out = fn([0.0], theta=margin, lam=lam, t=t, rng=gen)
+                hits += out == [1]
+            return hits / trials
+
+        assert false_positive_rate(improved_svt) < false_positive_rate(reduced_svt)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            improved_svt([1.0], theta=0.0, lam=-1.0, t=1)
+        with pytest.raises(ValueError):
+            improved_svt([1.0], theta=0.0, lam=1.0, t=0)

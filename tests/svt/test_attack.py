@@ -1,0 +1,100 @@
+"""Tests for the SVT privacy-loss counterexamples (Lemma 5.1, Appendix A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.svt import (
+    binary_svt,
+    binary_svt_log_ratio,
+    improved_svt_log_ratio_bound,
+    vanilla_svt_log_ratio,
+)
+
+
+class TestVanillaAttack:
+    def test_matches_analytic_k_over_lam(self):
+        # Appendix A derives Pr[D1->E]/Pr[D3->E] = e^{k/lam} exactly.
+        for k in (2, 6, 12):
+            for lam in (1.0, 2.0, 5.0):
+                assert vanilla_svt_log_ratio(k, lam) == pytest.approx(
+                    k / lam, rel=1e-3
+                )
+
+    def test_violates_claimed_guarantee(self):
+        # Claim 2 asserts eps-DP at lam = 2/eps, i.e. loss <= eps = 2/lam.
+        lam = 2.0
+        claimed_eps = 2.0 / lam
+        assert vanilla_svt_log_ratio(10, lam) > 2 * claimed_eps
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            vanilla_svt_log_ratio(1, 1.0)
+        with pytest.raises(ValueError):
+            vanilla_svt_log_ratio(4, 0.0)
+
+
+class TestBinaryAttack:
+    def test_exceeds_lemma_5_1_lower_bound(self):
+        # The proof shows the ratio is at least e^{k/(2 lam)}.
+        for k in (4, 8, 16):
+            lam = 2.0
+            assert binary_svt_log_ratio(k, lam) > k / (2 * lam) - 1e-6
+
+    def test_violates_claimed_guarantee_for_large_k(self):
+        # At lam = 2/eps (eps = 1), the loss must stay <= 2 eps = 2 if the
+        # claim held; it exceeds it once k is moderately large.
+        assert binary_svt_log_ratio(10, 2.0) > 2.0
+
+    def test_loss_grows_roughly_linearly_in_k(self):
+        lam = 2.0
+        r8 = binary_svt_log_ratio(8, lam)
+        r16 = binary_svt_log_ratio(16, lam)
+        assert r16 / r8 == pytest.approx(2.0, rel=0.25)
+
+    def test_scaling_lam_with_k_restores_privacy(self):
+        # With lam = k/eps the loss stays bounded (the Omega(k/eps) scale).
+        k = 16
+        assert binary_svt_log_ratio(k, lam=float(k)) < 2.0
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            binary_svt_log_ratio(5, 1.0)
+
+
+class TestMonteCarloAgreement:
+    def test_binary_event_probability_matches_simulation(self):
+        # Validate the integral against a direct simulation of Algorithm 3
+        # on D1 = {a, b} (qa = qb = 1) for a small k.
+        k, lam, theta = 4, 2.0, 1.0
+        answers = [1.0, 1.0, 1.0, 1.0]  # k/2 qa then k/2 qb on D1
+        target = [1, 1, 0, 0]
+        hits = 0
+        trials = 40_000
+        gen = np.random.default_rng(123)
+        for _ in range(trials):
+            if binary_svt(answers, theta, lam, rng=gen) == target:
+                hits += 1
+        simulated = hits / trials
+
+        from repro.svt.attack import _log_event_probability_binary
+
+        grid = np.linspace(theta - 60 * lam, theta + 60 * lam, 40_001)
+        integral = math.exp(
+            _log_event_probability_binary(1.0, 1.0, k, lam, theta, grid)
+        )
+        assert simulated == pytest.approx(integral, rel=0.15)
+
+
+class TestImprovedBound:
+    def test_bound_value(self):
+        assert improved_svt_log_ratio_bound(2.0) == pytest.approx(1.0)
+
+    def test_bound_independent_of_k(self):
+        # The whole point: the guarantee does not mention the query count.
+        assert improved_svt_log_ratio_bound(4.0) == improved_svt_log_ratio_bound(4.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            improved_svt_log_ratio_bound(0.0)
