@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import SpatialDataset, privtree_histogram
+from repro import SpatialDataset, from_spec
 from repro.domains import Box
 
 
@@ -24,10 +24,10 @@ def main() -> None:
 
     # --- One call: ε-differentially private synopsis. ----------------------
     epsilon = 1.0
-    synopsis = privtree_histogram(data, epsilon=epsilon, rng=0)
+    release = from_spec("privtree", epsilon=epsilon).fit(data, rng=0)
     print(
-        f"PrivTree synopsis at eps={epsilon}: {synopsis.size} nodes, "
-        f"{synopsis.leaf_count} leaves, height {synopsis.height}"
+        f"PrivTree synopsis at eps={epsilon}: {release.size} nodes, "
+        f"{release.leaf_count} leaves, height {release.height}"
     )
 
     # --- Answer range-count queries from the synopsis alone. ---------------
@@ -39,14 +39,14 @@ def main() -> None:
     }
     print(f"\n{'query':15s} {'private':>10s} {'true':>8s} {'rel.err':>8s}")
     for name, box in queries.items():
-        estimate = synopsis.range_count(box)
+        estimate = release.query(box)
         true = data.count_in(box)
         rel = abs(estimate - true) / max(true, 1)
         print(f"{name:15s} {estimate:10.1f} {true:8d} {rel:8.2%}")
 
     # The decomposition adapts to density: leaves are small in the hotspot,
     # large in the empty regions.
-    vols = sorted(box.volume for box in synopsis.leaf_boxes())
+    vols = sorted(box.volume for box in release.tree.leaf_boxes())
     print(
         f"\nleaf volumes: smallest {vols[0]:.2e}, median "
         f"{vols[len(vols) // 2]:.2e}, largest {vols[-1]:.2e}"

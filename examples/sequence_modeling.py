@@ -10,11 +10,11 @@ Run:  python examples/sequence_modeling.py
 
 import numpy as np
 
+from repro.api import from_spec
 from repro.datasets import msnbclike
 from repro.sequence import (
     exact_top_k,
     length_distribution,
-    private_pst,
     top_k_precision,
     total_variation_distance,
 )
@@ -30,7 +30,7 @@ def main() -> None:
     print(f"l_top = {l_top}: {data.n_longer_than(l_top)} sequences truncated")
 
     epsilon = 1.0
-    pst = private_pst(data, epsilon=epsilon, l_top=l_top, rng=0)
+    pst = from_spec("pst", epsilon=epsilon, l_top=l_top).fit(data, rng=0)
     print(f"\nprivate PST at eps={epsilon}: {pst.size} nodes, height {pst.height}")
 
     # --- Task 1: top-k frequent strings. -----------------------------------

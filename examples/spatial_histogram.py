@@ -10,27 +10,18 @@ Run:  python examples/spatial_histogram.py
 
 import numpy as np
 
-from repro.baselines import (
-    ag_histogram,
-    dawa_histogram,
-    hierarchy_histogram,
-    privelet_histogram,
-    ug_histogram,
-)
+from repro.api import from_spec
 from repro.datasets import roadlike
-from repro.spatial import (
-    average_relative_error,
-    generate_workload,
-    privtree_histogram,
-)
+from repro.spatial import average_relative_error, generate_workload
 
+#: Display name -> registry name; every method resolves from repro.api.
 METHODS = {
-    "PrivTree": lambda data, eps, rng: privtree_histogram(data, eps, rng=rng),
-    "UG": lambda data, eps, rng: ug_histogram(data, eps, rng=rng),
-    "AG": lambda data, eps, rng: ag_histogram(data, eps, rng=rng),
-    "Hierarchy": lambda data, eps, rng: hierarchy_histogram(data, eps, rng=rng),
-    "DAWA": lambda data, eps, rng: dawa_histogram(data, eps, rng=rng),
-    "Privelet": lambda data, eps, rng: privelet_histogram(data, eps, rng=rng),
+    "PrivTree": "privtree",
+    "UG": "ug",
+    "AG": "ag",
+    "Hierarchy": "hierarchy",
+    "DAWA": "dawa",
+    "Privelet": "privelet",
 }
 
 
@@ -41,12 +32,14 @@ def main() -> None:
         queries = generate_workload(data.domain, band, 80, rng=1)
         print(f"\n--- {band} queries ---")
         print(f"{'method':10s} " + " ".join(f"eps={e:<4g}" for e in (0.1, 0.8)))
-        for name, build in METHODS.items():
+        for name, method in METHODS.items():
             errors = []
             for eps in (0.1, 0.8):
                 runs = [
                     average_relative_error(
-                        build(data, eps, np.random.default_rng(seed)).range_count,
+                        from_spec(method, epsilon=eps)
+                        .fit(data, rng=np.random.default_rng(seed))
+                        .query,
                         data,
                         queries,
                     )

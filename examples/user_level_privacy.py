@@ -11,12 +11,9 @@ Run:  python examples/user_level_privacy.py
 
 import numpy as np
 
+from repro.api import from_spec
 from repro.datasets import gowallalike
-from repro.spatial import (
-    average_relative_error,
-    generate_workload,
-    privtree_histogram,
-)
+from repro.spatial import average_relative_error, generate_workload
 
 
 def main() -> None:
@@ -33,7 +30,9 @@ def main() -> None:
         event = np.mean(
             [
                 average_relative_error(
-                    privtree_histogram(data, eps, rng=s).range_count, data, queries
+                    from_spec("privtree", epsilon=eps).fit(data, rng=s).query,
+                    data,
+                    queries,
                 )
                 for s in range(3)
             ]
@@ -41,9 +40,13 @@ def main() -> None:
         user = np.mean(
             [
                 average_relative_error(
-                    privtree_histogram(
-                        data, eps, tuples_per_individual=checkins_per_user, rng=s
-                    ).range_count,
+                    from_spec(
+                        "privtree",
+                        epsilon=eps,
+                        tuples_per_individual=checkins_per_user,
+                    )
+                    .fit(data, rng=s)
+                    .query,
                     data,
                     queries,
                 )

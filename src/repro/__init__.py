@@ -4,18 +4,31 @@ Differentially private hierarchical decompositions without a pre-defined
 recursion-depth limit, applied to spatial histograms and Markov models over
 sequence data, together with the baselines and experiments of the paper.
 
+The public surface is the unified estimator/release API of :mod:`repro.api`:
+every method — PrivTree, the grid baselines, the sequence models — is an
+:class:`~repro.api.Estimator` resolved by name from a registry, and every
+``fit`` debits a shared :class:`PrivacyAccountant` and returns a
+:class:`~repro.api.Release` that answers queries and round-trips through
+JSON.
+
 Quickstart::
 
     import numpy as np
-    from repro import SpatialDataset, privtree_histogram
+    from repro import SpatialDataset, from_spec
     from repro.domains import Box
 
     points = np.random.default_rng(0).normal(0.5, 0.1, size=(10_000, 2))
     data = SpatialDataset(points.clip(0, 0.999), Box.unit(2), name="demo")
-    synopsis = privtree_histogram(data, epsilon=1.0, rng=0)
-    print(synopsis.range_count(Box((0.4, 0.4), (0.6, 0.6))))
+    release = from_spec("privtree", epsilon=1.0).fit(data, rng=0)
+    print(release.query(Box((0.4, 0.4), (0.6, 0.6))))
+    print(release.epsilon_spent, release.size)
+
+The historical free functions (``privtree_histogram`` and friends) remain
+importable as deprecated shims that produce identical results.
 """
 
+from . import api
+from .api import Estimator, Release, from_spec
 from .core import (
     DecompositionTree,
     PrivTreeParams,
@@ -23,7 +36,7 @@ from .core import (
     privtree,
     simpletree,
 )
-from .mechanisms import PrivacyAccountant, ensure_rng
+from .mechanisms import BudgetExceededError, PrivacyAccountant, ensure_rng
 from .sequence import (
     Alphabet,
     PredictionSuffixTree,
@@ -39,20 +52,25 @@ from .spatial import (
     simpletree_histogram,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Alphabet",
+    "BudgetExceededError",
     "DecompositionTree",
+    "Estimator",
     "HistogramTree",
     "PredictionSuffixTree",
     "PrivTreeParams",
     "PrivacyAccountant",
+    "Release",
     "SequenceDataset",
     "SpatialDataset",
     "TreeNode",
+    "api",
     "average_relative_error",
     "ensure_rng",
+    "from_spec",
     "generate_workload",
     "private_pst",
     "privtree",

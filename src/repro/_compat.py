@@ -1,0 +1,46 @@
+"""Deprecation plumbing for the legacy free-function surface.
+
+The public API of this package is now :mod:`repro.api` — estimators resolved
+from a registry whose ``fit`` produces a :class:`~repro.api.Release`.  The
+historical free functions (``privtree_histogram``, ``ug_histogram``, ...)
+remain importable from their original locations as thin shims that emit a
+:class:`DeprecationWarning` and delegate to the shared implementation, so
+old call sites keep producing bit-identical results.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+__all__ = ["deprecated_shim"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def deprecated_shim(impl: F, public_name: str, registry_name: str) -> F:
+    """Wrap ``impl`` as the deprecated public function ``public_name``.
+
+    The shim forwards all arguments unchanged (results are identical to the
+    new API under the same rng) and points callers at the registry entry
+    that replaces it.
+    """
+    message = (
+        f"{public_name}() is deprecated; use "
+        f'repro.api.from_spec("{registry_name}", epsilon=...).fit(dataset, rng=...) '
+        f"instead"
+    )
+
+    @functools.wraps(impl)
+    def shim(*args, **kwargs):
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        return impl(*args, **kwargs)
+
+    shim.__name__ = public_name
+    shim.__qualname__ = public_name
+    shim.__doc__ = (
+        f"Deprecated: use ``repro.api.from_spec({registry_name!r}, ...)``.\n\n"
+        + (impl.__doc__ or "")
+    )
+    return shim

@@ -1,0 +1,80 @@
+"""The unified estimator/release API — one surface for every method.
+
+The paper's core contribution is one engine behind many workloads; this
+package makes that the programming model:
+
+* :class:`Estimator` — a configured method.  ``fit(dataset, *, accountant,
+  rng)`` consumes privacy budget and returns a release.  Resolve one by
+  name with :func:`from_spec` (see :mod:`repro.api.registry`).
+* :class:`Release` — the publishable artifact: uniform ``query(...)``,
+  ``size``, ``epsilon_spent``, and a ``to_json`` / :func:`release_from_json`
+  round-trip.
+* ``registry`` — names like ``"privtree"``, ``"ug"``, ``"ag"``,
+  ``"hierarchy"``, ``"dawa"``, ``"privelet"``, ``"kdtree"``,
+  ``"simpletree"``, ``"ngram"``, ``"pst"`` mapped to estimator factories.
+
+Example — two releases drawn from one shared budget::
+
+    from repro.api import from_spec
+    from repro.mechanisms import PrivacyAccountant
+
+    accountant = PrivacyAccountant(2.0)
+    hist = from_spec("privtree", epsilon=1.0).fit(points, accountant=accountant, rng=0)
+    grid = from_spec("ug", epsilon=1.0).fit(points, accountant=accountant, rng=1)
+    accountant.ledger   # every internal budget split, labelled
+    hist.query(box)     # noisy range count
+    hist.to_json()      # ship it
+"""
+
+from . import registry
+from .base import Estimator, Release, load_release, release_from_json, save_release
+from .estimators import (
+    AGEstimator,
+    DawaEstimator,
+    HierarchyEstimator,
+    KDTreeEstimator,
+    NGramEstimator,
+    PriveletEstimator,
+    PrivTreeEstimator,
+    PSTEstimator,
+    SimpleTreeEstimator,
+    UGEstimator,
+)
+from .registry import from_spec, get, get_class, names
+from .releases import (
+    AdaptiveGridRelease,
+    GridRelease,
+    NGramRelease,
+    SequenceRelease,
+    SpatialRelease,
+    SpatialTreeRelease,
+)
+
+__all__ = [
+    "AGEstimator",
+    "AdaptiveGridRelease",
+    "DawaEstimator",
+    "Estimator",
+    "GridRelease",
+    "HierarchyEstimator",
+    "KDTreeEstimator",
+    "NGramEstimator",
+    "NGramRelease",
+    "PSTEstimator",
+    "PriveletEstimator",
+    "PrivTreeEstimator",
+    "Release",
+    "SequenceRelease",
+    "SimpleTreeEstimator",
+    "SpatialRelease",
+    "SpatialTreeRelease",
+    "UGEstimator",
+    "from_spec",
+    "get",
+    "get_class",
+    "load_release",
+    "names",
+    "registry",
+    "release_from_json",
+    "save_release",
+]

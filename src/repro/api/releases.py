@@ -1,0 +1,298 @@
+"""Concrete :class:`~repro.api.Release` artifacts for every workload.
+
+Spatial releases answer ``query(box)`` range counts; sequence releases
+answer ``query(codes)`` string frequencies.  Serialization reuses the
+published schemas of :mod:`repro.spatial.serialize` and
+:mod:`repro.sequence.serialize` where they exist (tree and PST payloads are
+byte-compatible with those modules), and adds plain grid payloads for the
+grid-shaped baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.ag import AdaptiveGrid
+from ..baselines.grid import UniformGrid
+from ..baselines.ngram import NGramModel
+from ..domains.box import Box
+from ..sequence.alphabet import Alphabet
+from ..sequence.pst import PredictionSuffixTree
+from ..sequence.serialize import pst_from_dict, pst_to_dict
+from ..spatial.histogram_tree import HistogramTree
+from ..spatial.serialize import tree_from_dict, tree_to_dict
+from .base import Release
+
+__all__ = [
+    "AdaptiveGridRelease",
+    "GridRelease",
+    "NGramRelease",
+    "SequenceRelease",
+    "SpatialRelease",
+    "SpatialTreeRelease",
+]
+
+
+class SpatialRelease(Release):
+    """Base of the spatial artifacts: ``query`` is a range count."""
+
+    def query(self, box: Box) -> float:
+        """The noisy number of points inside ``box``."""
+        return self.range_count(box)
+
+    def range_count(self, box: Box) -> float:
+        """Alias of :meth:`query` (the historical synopsis surface)."""
+        raise NotImplementedError
+
+
+class SpatialTreeRelease(SpatialRelease):
+    """A released hierarchical synopsis (PrivTree, SimpleTree, k-d tree)."""
+
+    kind = "spatial-tree"
+
+    def __init__(
+        self, tree: HistogramTree, *, method: str, epsilon_spent: float
+    ) -> None:
+        super().__init__(method=method, epsilon_spent=epsilon_spent)
+        self.tree = tree
+
+    @property
+    def size(self) -> int:
+        return self.tree.size
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves of the released tree."""
+        return self.tree.leaf_count
+
+    @property
+    def height(self) -> int:
+        """Height of the released tree."""
+        return self.tree.height
+
+    def range_count(self, box: Box) -> float:
+        return self.tree.range_count(box)
+
+    def to_grid(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Rasterize the synopsis (see :meth:`HistogramTree.to_grid`)."""
+        return self.tree.to_grid(shape)
+
+    def _payload(self) -> dict[str, Any]:
+        return tree_to_dict(self.tree)
+
+    @classmethod
+    def _from_payload(
+        cls, payload: dict[str, Any], *, method: str, epsilon_spent: float
+    ) -> "SpatialTreeRelease":
+        return cls(tree_from_dict(payload), method=method, epsilon_spent=epsilon_spent)
+
+
+def _grid_to_dict(grid: UniformGrid) -> dict[str, Any]:
+    return {
+        "low": list(grid.domain.low),
+        "high": list(grid.domain.high),
+        "shape": list(grid.shape),
+        "counts": [float(v) for v in grid.counts.ravel()],
+    }
+
+
+def _grid_from_dict(data: Mapping[str, Any]) -> UniformGrid:
+    domain = Box(tuple(data["low"]), tuple(data["high"]))
+    counts = np.asarray(data["counts"], dtype=float).reshape(tuple(data["shape"]))
+    return UniformGrid(domain=domain, counts=counts)
+
+
+class GridRelease(SpatialRelease):
+    """A released flat grid of noisy cell estimates (UG, Privelet, ...).
+
+    ``meta`` carries method-specific extras that survive the round-trip —
+    DAWA's bucket boundaries, Hierarchy's level structure — without
+    changing how queries are answered (always from the cell grid).
+    """
+
+    kind = "spatial-grid"
+
+    def __init__(
+        self,
+        grid: UniformGrid,
+        *,
+        method: str,
+        epsilon_spent: float,
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(method=method, epsilon_spent=epsilon_spent)
+        self.grid = grid
+        self.meta = dict(meta or {})
+
+    @property
+    def size(self) -> int:
+        return self.grid.n_cells
+
+    def range_count(self, box: Box) -> float:
+        return self.grid.range_count(box)
+
+    def _payload(self) -> dict[str, Any]:
+        out = _grid_to_dict(self.grid)
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+    @classmethod
+    def _from_payload(
+        cls, payload: dict[str, Any], *, method: str, epsilon_spent: float
+    ) -> "GridRelease":
+        return cls(
+            _grid_from_dict(payload),
+            method=method,
+            epsilon_spent=epsilon_spent,
+            meta=payload.get("meta"),
+        )
+
+
+class AdaptiveGridRelease(SpatialRelease):
+    """The released AG synopsis: level-1 grid plus refined subgrids."""
+
+    kind = "spatial-adaptive-grid"
+
+    def __init__(
+        self, synopsis: AdaptiveGrid, *, method: str, epsilon_spent: float
+    ) -> None:
+        super().__init__(method=method, epsilon_spent=epsilon_spent)
+        self.synopsis = synopsis
+
+    @property
+    def size(self) -> int:
+        return self.synopsis.n_cells
+
+    def range_count(self, box: Box) -> float:
+        return self.synopsis.range_count(box)
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "level1": _grid_to_dict(self.synopsis.level1),
+            "subgrids": [
+                {"index": list(index), "grid": _grid_to_dict(grid)}
+                for index, grid in sorted(self.synopsis.subgrids.items())
+            ],
+        }
+
+    @classmethod
+    def _from_payload(
+        cls, payload: dict[str, Any], *, method: str, epsilon_spent: float
+    ) -> "AdaptiveGridRelease":
+        synopsis = AdaptiveGrid(
+            level1=_grid_from_dict(payload["level1"]),
+            subgrids={
+                tuple(int(i) for i in entry["index"]): _grid_from_dict(entry["grid"])
+                for entry in payload.get("subgrids", [])
+            },
+        )
+        return cls(synopsis, method=method, epsilon_spent=epsilon_spent)
+
+
+class SequenceRelease(Release):
+    """A released private Markov model (the modified-PrivTree PST).
+
+    ``query(codes)`` estimates how many input sequences contain the coded
+    string; generation and mining pass through to the underlying model.
+    """
+
+    kind = "sequence-pst"
+
+    def __init__(
+        self, model: PredictionSuffixTree, *, method: str, epsilon_spent: float
+    ) -> None:
+        super().__init__(method=method, epsilon_spent=epsilon_spent)
+        self.model = model
+
+    @property
+    def size(self) -> int:
+        return self.model.size
+
+    @property
+    def height(self) -> int:
+        """Longest released context length."""
+        return self.model.height
+
+    def query(self, codes: Sequence[int]) -> float:
+        """Estimated frequency of the coded string."""
+        return self.model.string_frequency(codes)
+
+    def top_k_strings(self, k: int, max_length: int = 12):
+        """The model's ``k`` most frequent strings (mining task, §6.2)."""
+        return self.model.top_k_strings(k, max_length=max_length)
+
+    def sample_sequence(self, rng=None, max_length: int | None = None):
+        """Draw one synthetic sequence from the model."""
+        return self.model.sample_sequence(rng, max_length)
+
+    def sample_dataset(self, n: int, rng=None, max_length: int | None = None):
+        """Draw ``n`` synthetic sequences (generation task, §6.2)."""
+        return self.model.sample_dataset(n, rng=rng, max_length=max_length)
+
+    def _payload(self) -> dict[str, Any]:
+        return pst_to_dict(self.model)
+
+    @classmethod
+    def _from_payload(
+        cls, payload: dict[str, Any], *, method: str, epsilon_spent: float
+    ) -> "SequenceRelease":
+        return cls(pst_from_dict(payload), method=method, epsilon_spent=epsilon_spent)
+
+
+class NGramRelease(Release):
+    """The released n-gram baseline model."""
+
+    kind = "sequence-ngram"
+
+    def __init__(self, model: NGramModel, *, method: str, epsilon_spent: float) -> None:
+        super().__init__(method=method, epsilon_spent=epsilon_spent)
+        self.model = model
+
+    @property
+    def size(self) -> int:
+        return len(self.model.counts)
+
+    def query(self, codes: Sequence[int]) -> float:
+        """Estimated frequency of the coded string."""
+        return self.model.string_frequency(tuple(int(c) for c in codes))
+
+    def top_k_strings(self, k: int, max_length: int = 12):
+        """The model's ``k`` most frequent strings."""
+        return self.model.top_k_strings(k, max_length=max_length)
+
+    def sample_sequence(self, rng=None, max_length: int | None = None):
+        """Draw one synthetic sequence from the model."""
+        return self.model.sample_sequence(rng, max_length)
+
+    def sample_dataset(self, n: int, rng=None, max_length: int | None = None):
+        """Draw ``n`` synthetic sequences."""
+        return self.model.sample_dataset(n, rng=rng, max_length=max_length)
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "alphabet": list(self.model.alphabet.symbols),
+            "n_max": self.model.n_max,
+            "l_top": self.model.l_top,
+            "grams": [
+                {"gram": list(gram), "count": float(count)}
+                for gram, count in sorted(self.model.counts.items())
+            ],
+        }
+
+    @classmethod
+    def _from_payload(
+        cls, payload: dict[str, Any], *, method: str, epsilon_spent: float
+    ) -> "NGramRelease":
+        model = NGramModel(
+            alphabet=Alphabet(tuple(payload["alphabet"])),
+            n_max=int(payload["n_max"]),
+            l_top=int(payload["l_top"]),
+            counts={
+                tuple(int(c) for c in entry["gram"]): float(entry["count"])
+                for entry in payload.get("grams", [])
+            },
+        )
+        return cls(model, method=method, epsilon_spent=epsilon_spent)

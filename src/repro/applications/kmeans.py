@@ -23,7 +23,7 @@ import numpy as np
 from ..mechanisms.rng import RngLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
 from ..spatial.histogram_tree import HistogramTree
-from ..spatial.quadtree import privtree_histogram
+from ..spatial.quadtree import _privtree_histogram
 
 __all__ = ["privtree_kmeans", "dplloyd_kmeans", "kmeans_cost"]
 
@@ -86,7 +86,7 @@ def privtree_kmeans(
         raise ValueError(f"k must be >= 1, got {k!r}")
     gen = ensure_rng(rng)
     if synopsis is None:
-        synopsis = privtree_histogram(dataset, epsilon, rng=gen)
+        synopsis = _privtree_histogram(dataset, epsilon, rng=gen)
     leaves = [n for n in synopsis.root.iter_nodes() if n.is_leaf]
     centers = np.array([leaf.box.center for leaf in leaves])
     weights = np.array([max(leaf.count, 0.0) for leaf in leaves])

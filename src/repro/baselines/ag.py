@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from .._compat import deprecated_shim
 from ..domains.box import Box
 from ..mechanisms.rng import RngLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
@@ -85,7 +86,7 @@ class AdaptiveGrid:
         return self.level1.n_cells + sum(g.n_cells for g in self.subgrids.values())
 
 
-def ag_histogram(
+def _ag_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     alpha: float = AG_ALPHA,
@@ -126,3 +127,6 @@ def ag_histogram(
             sub_counts = sub.counts + (blended - child_sum) / k
             subgrids[(i, j)] = UniformGrid(domain=cell, counts=sub_counts)
     return AdaptiveGrid(level1=level1, subgrids=subgrids)
+
+
+ag_histogram = deprecated_shim(_ag_histogram, "ag_histogram", "ag")

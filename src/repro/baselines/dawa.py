@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import deprecated_shim
 from ..domains.box import Box
 from ..mechanisms.rng import RngLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
@@ -140,7 +141,7 @@ class DawaHistogram:
         return len(self.boundaries) - 1
 
 
-def dawa_histogram(
+def _dawa_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     cells_per_dim: int | None = None,
@@ -183,3 +184,6 @@ def dawa_histogram(
         counts=cell_estimates.reshape(exact.counts.shape),
     )
     return DawaHistogram(grid=grid, boundaries=boundaries)
+
+
+dawa_histogram = deprecated_shim(_dawa_histogram, "dawa_histogram", "dawa")

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import deprecated_shim
 from ..domains.box import Box
 from ..mechanisms.rng import RngLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
@@ -77,7 +78,7 @@ def _expand(values: np.ndarray, factor: int) -> np.ndarray:
     return out
 
 
-def hierarchy_histogram(
+def _hierarchy_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     height: int = 3,
@@ -149,3 +150,6 @@ def hierarchy_histogram(
 
     leaf_grid = UniformGrid(domain=dataset.domain, counts=h_est)
     return HierarchyHistogram(leaf_grid=leaf_grid, levels=height, branchings=branchings)
+
+
+hierarchy_histogram = deprecated_shim(_hierarchy_histogram, "hierarchy_histogram", "hierarchy")

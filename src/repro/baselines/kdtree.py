@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._compat import deprecated_shim
 from ..mechanisms.exponential import exponential_mechanism
 from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import RngLike, ensure_rng
@@ -48,7 +49,7 @@ def _private_split_position(
     )
 
 
-def kdtree_histogram(
+def _kdtree_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     height: int = 7,
@@ -104,3 +105,6 @@ def _split_box(box, axis: int, cut: float):
         Box(box.low, tuple(left_high)),
         Box(tuple(right_low), box.high),
     )
+
+
+kdtree_histogram = deprecated_shim(_kdtree_histogram, "kdtree_histogram", "kdtree")

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import deprecated_shim
 from ..domains.box import Box
 from ..mechanisms.rng import RngLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
@@ -109,7 +110,7 @@ class PriveletHistogram:
         return self.grid.range_count(query)
 
 
-def privelet_histogram(
+def _privelet_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     cells_per_dim: int | None = None,
@@ -151,3 +152,6 @@ def privelet_histogram(
         noisy = haar_inverse(noisy, axis=axis)
     grid = UniformGrid(domain=dataset.domain, counts=noisy)
     return PriveletHistogram(grid=grid)
+
+
+privelet_histogram = deprecated_shim(_privelet_histogram, "privelet_histogram", "privelet")

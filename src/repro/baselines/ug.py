@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 
+from .._compat import deprecated_shim
 from ..mechanisms.rng import RngLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
 from .grid import UniformGrid
@@ -41,7 +42,7 @@ def ug_cells_per_dim(
     return max(1, math.ceil(size_factor ** (1.0 / ndim) * m))
 
 
-def ug_histogram(
+def _ug_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     size_factor: float = 1.0,
@@ -52,3 +53,6 @@ def ug_histogram(
     m = ug_cells_per_dim(dataset.n, dataset.ndim, epsilon, size_factor)
     exact = UniformGrid.histogram(dataset, (m,) * dataset.ndim)
     return exact.with_noise(1.0 / epsilon, gen)
+
+
+ug_histogram = deprecated_shim(_ug_histogram, "ug_histogram", "ug")

@@ -1,21 +1,29 @@
-"""Command-line interface: run the paper's experiments from a shell.
+"""Command-line interface: run any registered method, or the paper's experiments.
 
 Examples::
 
-    python -m repro figure5 --dataset road --band medium --reps 3
-    python -m repro figure6 --dataset msnbc --k 100
-    python -m repro figure7 --dataset mooc
-    python -m repro table4
-    python -m repro svt
-    python -m repro datasets
+    repro run --method privtree --dataset road --epsilon 1.0 --out release.json
+    repro run --method pst --dataset msnbc --param l_top=15
+    repro methods
+    repro figure5 --dataset road --band medium --reps 3
+    repro figure6 --dataset msnbc --k 100
+    repro figure7 --dataset mooc
+    repro table4
+    repro svt
+    repro datasets
 
-Each command prints the corresponding paper-style table; ``--n`` scales the
+``run`` resolves ``--method`` from :mod:`repro.api.registry`, fits it on a
+registered dataset, prints the release summary plus the privacy-budget
+ledger, and optionally writes the release JSON.  The ``figure*`` / ``table*``
+commands print the corresponding paper-style table; ``--n`` scales the
 synthetic dataset, ``--epsilons`` overrides the sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 from typing import Sequence
 
 from .experiments import (
@@ -51,6 +59,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="privacy budgets to sweep",
         )
 
+    run = sub.add_parser("run", help="fit one registered method on one dataset")
+    run.add_argument("--method", required=True, help="registry name (see `repro methods`)")
+    run.add_argument("--dataset", required=True, help="dataset name (see `repro datasets`)")
+    run.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
+    run.add_argument("--n", type=int, default=None, help="dataset cardinality")
+    run.add_argument("--seed", type=int, default=0, help="rng seed")
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra estimator parameter (repeatable), e.g. --param theta=0.5",
+    )
+    run.add_argument("--out", default=None, help="write the release JSON here")
+
+    sub.add_parser("methods", help="list the registered estimator methods")
+
     fig5 = sub.add_parser("figure5", help="range-count relative error")
     fig5.add_argument("--dataset", default="road", choices=["road", "gowalla", "nyc", "beijing"])
     fig5.add_argument("--band", default="medium", choices=["small", "medium", "large"])
@@ -73,6 +98,83 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("svt", help="SVT privacy-loss counterexamples")
     sub.add_parser("datasets", help="dataset characteristics (Tables 2-3)")
     return parser
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    """Parse one ``--param key=value`` (value via literal_eval, else string)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"--param expects KEY=VALUE, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def _run_method(args: argparse.Namespace) -> str:
+    from .api import registry, save_release
+    from .datasets import SEQUENCE_DATASETS, SPATIAL_DATASETS
+    from .mechanisms import PrivacyAccountant
+
+    all_specs = {**SPATIAL_DATASETS, **SEQUENCE_DATASETS}
+    if args.dataset not in all_specs:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; choose from {', '.join(sorted(all_specs))}"
+        )
+    spec = all_specs[args.dataset]
+    params = dict(_parse_param(p) for p in args.param)
+    if "epsilon" in params:
+        raise SystemExit("set the privacy budget with --epsilon, not --param epsilon=")
+    try:
+        estimator_cls = registry.get_class(args.method)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    if (
+        spec.kind == "sequence"
+        and "l_top" in estimator_cls.param_names()
+        and "l_top" not in params
+        and spec.l_top is not None
+    ):
+        params["l_top"] = spec.l_top
+    if estimator_cls.kind != spec.kind:
+        raise SystemExit(
+            f"method {args.method!r} expects {estimator_cls.kind} data but "
+            f"dataset {args.dataset!r} is {spec.kind}"
+        )
+    try:
+        estimator = registry.from_spec(args.method, epsilon=args.epsilon, **params)
+    except TypeError as exc:
+        raise SystemExit(str(exc)) from None
+
+    dataset = spec.make(args.n, rng=args.seed)
+    accountant = PrivacyAccountant(args.epsilon)
+    release = estimator.fit(dataset, accountant=accountant, rng=args.seed)
+
+    lines = [
+        f"method   : {args.method} ({type(estimator).__name__})",
+        f"dataset  : {args.dataset} (n={dataset.n:,})",
+        f"release  : {type(release).__name__}, size={release.size:,}",
+        f"epsilon  : {release.epsilon_spent:g} spent of {accountant.total_epsilon:g}",
+        "ledger   :",
+    ]
+    for label, eps in accountant.ledger:
+        lines.append(f"  {label:30s} {eps:.6g}")
+    if args.out:
+        save_release(release, args.out)
+        lines.append(f"release written to {args.out}")
+    return "\n".join(lines)
+
+
+def _run_methods() -> str:
+    from .api import registry
+
+    lines = ["Registered methods (repro run --method NAME ...)"]
+    for spec in registry.specs():
+        params = ", ".join(f"{k}={v!r}" for k, v in spec["params"].items())
+        lines.append(f"  {spec['name']:11s} {spec['kind']:9s} {spec['summary']}")
+        lines.append(f"  {'':11s} {'':9s} params: {params}")
+    return "\n".join(lines)
 
 
 def _run_svt() -> str:
@@ -113,7 +215,11 @@ def _run_datasets() -> str:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "figure5":
+    if args.command == "run":
+        print(_run_method(args))
+    elif args.command == "methods":
+        print(_run_methods())
+    elif args.command == "figure5":
         result = run_range_query_experiment(
             args.dataset,
             args.band,

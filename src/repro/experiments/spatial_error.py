@@ -11,23 +11,17 @@ from typing import Callable
 
 import numpy as np
 
-from ..baselines import (
-    ag_histogram,
-    dawa_histogram,
-    hierarchy_histogram,
-    privelet_histogram,
-    ug_histogram,
-)
+from ..api import registry
 from ..datasets.registry import SPATIAL_DATASETS
 from ..mechanisms.rng import RngLike, ensure_rng, spawn
 from ..spatial.dataset import SpatialDataset
 from ..spatial.metrics import average_relative_error
-from ..spatial.quadtree import privtree_histogram
 from ..spatial.queries import QUERY_BANDS, generate_workload
 from .results import SweepResult
 
 __all__ = [
     "PAPER_EPSILONS",
+    "method_builder",
     "spatial_method_registry",
     "run_range_query_experiment",
     "run_fanout_ablation",
@@ -44,23 +38,31 @@ PAPER_EPSILONS = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
 SynopsisBuilder = Callable[[SpatialDataset, float, np.random.Generator], object]
 
 
+def method_builder(name: str, **params) -> SynopsisBuilder:
+    """A sweep builder that resolves ``name`` from :mod:`repro.api.registry`."""
+
+    def build(data: SpatialDataset, eps: float, rng: np.random.Generator):
+        return registry.from_spec(name, epsilon=eps, **params).fit(data, rng=rng)
+
+    return build
+
+
 def spatial_method_registry(ndim: int) -> dict[str, SynopsisBuilder]:
     """The Figure 5 method set, restricted to what applies at ``ndim``.
 
     AG is 2-d-specific; Hierarchy's heuristics produce infeasibly large
-    trees on 4-d data (the paper omits both there as well).
+    trees on 4-d data (the paper omits both there as well).  Methods are
+    resolved from :mod:`repro.api.registry` by their registered names.
     """
     methods: dict[str, SynopsisBuilder] = {
-        "PrivTree": lambda data, eps, rng: privtree_histogram(data, eps, rng=rng),
-        "UG": lambda data, eps, rng: ug_histogram(data, eps, rng=rng),
-        "DAWA": lambda data, eps, rng: dawa_histogram(data, eps, rng=rng),
-        "Privelet": lambda data, eps, rng: privelet_histogram(data, eps, rng=rng),
+        "PrivTree": method_builder("privtree"),
+        "UG": method_builder("ug"),
+        "DAWA": method_builder("dawa"),
+        "Privelet": method_builder("privelet"),
     }
     if ndim == 2:
-        methods["AG"] = lambda data, eps, rng: ag_histogram(data, eps, rng=rng)
-        methods["Hierarchy"] = lambda data, eps, rng: hierarchy_histogram(
-            data, eps, rng=rng
-        )
+        methods["AG"] = method_builder("ag")
+        methods["Hierarchy"] = method_builder("hierarchy")
     return methods
 
 
@@ -132,11 +134,7 @@ def run_fanout_ablation(
     d = spec.dimensionality
     dims_options = sorted({d, max(1, d // 2), max(1, d // 4)}, reverse=True)
     methods = {
-        f"beta=2^{dims}": (
-            lambda data, eps, rng, dims=dims: privtree_histogram(
-                data, eps, dims_per_split=dims, rng=rng
-            )
-        )
+        f"beta=2^{dims}": method_builder("privtree", dims_per_split=dims)
         for dims in dims_options
     }
     return _sweep(
@@ -164,10 +162,7 @@ def run_ug_gridsize_ablation(
     """Figure 9: UG with its cell count scaled by r."""
     spec = SPATIAL_DATASETS[dataset_name]
     methods = {
-        f"r={r:g}": (
-            lambda data, eps, rng, r=r: ug_histogram(data, eps, size_factor=r, rng=rng)
-        )
-        for r in size_factors
+        f"r={r:g}": method_builder("ug", size_factor=r) for r in size_factors
     }
     return _sweep(
         title=f"Figure 9 — {dataset_name} / {band} queries, UG grid-size ablation",
@@ -196,10 +191,7 @@ def run_ag_gridsize_ablation(
     if spec.dimensionality != 2:
         raise ValueError("AG applies to two-dimensional datasets only")
     methods = {
-        f"r={r:g}": (
-            lambda data, eps, rng, r=r: ag_histogram(data, eps, size_factor=r, rng=rng)
-        )
-        for r in size_factors
+        f"r={r:g}": method_builder("ag", size_factor=r) for r in size_factors
     }
     return _sweep(
         title=f"Figure 10 — {dataset_name} / {band} queries, AG grid-size ablation",
@@ -228,11 +220,7 @@ def run_hierarchy_height_ablation(
     if spec.dimensionality != 2:
         raise ValueError("the Hierarchy ablation runs on two-dimensional data")
     methods = {
-        f"h={h}": (
-            lambda data, eps, rng, h=h: hierarchy_histogram(
-                data, eps, height=h, leaf_cells_exponent=7, rng=rng
-            )
-        )
+        f"h={h}": method_builder("hierarchy", height=h, leaf_cells_exponent=7)
         for h in heights
     }
     return _sweep(

@@ -12,10 +12,9 @@ import time
 
 import numpy as np
 
+from ..api import registry
 from ..datasets.registry import SEQUENCE_DATASETS, SPATIAL_DATASETS
 from ..mechanisms.rng import RngLike, ensure_rng, spawn
-from ..sequence.private_pst import private_pst
-from ..spatial.quadtree import privtree_histogram
 from .results import SweepResult
 from .spatial_error import PAPER_EPSILONS
 
@@ -46,7 +45,7 @@ def run_privtree_timing(
             dataset = spec.make(dataset_n, rng=gen)
 
             def build(eps: float, r: np.random.Generator, data=dataset) -> None:
-                privtree_histogram(data, eps, rng=r)
+                registry.from_spec("privtree", epsilon=eps).fit(data, rng=r)
 
         else:
             spec = SEQUENCE_DATASETS[name]
@@ -54,7 +53,7 @@ def run_privtree_timing(
             l_top = spec.l_top
 
             def build(eps: float, r: np.random.Generator, data=dataset, lt=l_top) -> None:
-                private_pst(data, eps, lt, rng=r)
+                registry.from_spec("pst", epsilon=eps, l_top=lt).fit(data, rng=r)
 
         column = []
         for eps in epsilons:

@@ -7,7 +7,9 @@ make the §3.4 / §4.2 budget splits explicit and auditable.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 __all__ = ["BudgetExceededError", "PrivacyAccountant"]
 
@@ -73,3 +75,19 @@ class PrivacyAccountant:
         if not 0 < fraction <= 1:
             raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
         return self.spend(fraction * self.total_epsilon, label)
+
+    @contextmanager
+    def transaction(self) -> Iterator["PrivacyAccountant"]:
+        """Roll back spends made inside the block if it raises.
+
+        A pipeline step that fails before anything is released should not
+        leave its ε debited from a shared budget; wrapping the step keeps
+        the ledger atomic (a :class:`BudgetExceededError` raised by a spend
+        inside the block also rolls back the block's earlier spends).
+        """
+        mark = len(self._ledger)
+        try:
+            yield self
+        except BaseException:
+            del self._ledger[mark:]
+            raise

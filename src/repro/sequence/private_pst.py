@@ -57,18 +57,22 @@ def private_pst(
     theta: float = 0.0,
     rng: RngLike = None,
     max_depth: int | None = DEFAULT_MAX_DEPTH,
+    accountant: PrivacyAccountant | None = None,
 ) -> PredictionSuffixTree:
     """Build an ε-DP prediction suffix tree over ``dataset``.
 
     ``l_top`` is the Section 4.2 length bound; sequences longer than it are
-    truncated (open-ended) before anything touches the data.
+    truncated (open-ended) before anything touches the data.  Passing an
+    external ``accountant`` records the §4.2 split as two ledger entries
+    summing to ``epsilon``; a private one is created when omitted.
     """
     gen = ensure_rng(rng)
     store = dataset.truncate(l_top)
     beta = dataset.alphabet.pst_fanout
-    accountant = PrivacyAccountant(epsilon)
-    eps_tree = accountant.spend_fraction(1.0 / beta, "PST structure")
-    eps_hist = accountant.spend_fraction(1.0 - 1.0 / beta, "leaf histograms")
+    if accountant is None:
+        accountant = PrivacyAccountant(epsilon)
+    eps_tree = accountant.spend((1.0 / beta) * epsilon, "pst/structure")
+    eps_hist = accountant.spend((1.0 - 1.0 / beta) * epsilon, "pst/leaf histograms")
 
     params = PrivTreeParams.calibrate(
         eps_tree, fanout=beta, sensitivity=float(l_top), theta=theta

@@ -13,6 +13,7 @@ counts it computed *are* the release (scale ``h/ε``).
 
 from __future__ import annotations
 
+from .._compat import deprecated_shim
 from ..core.node import TreeNode
 from ..core.params import PrivTreeParams
 from ..core.privtree import DEFAULT_MAX_DEPTH, privtree
@@ -47,7 +48,7 @@ def privtree_decomposition(
     return privtree(root, params, rng=rng, max_depth=max_depth)
 
 
-def privtree_histogram(
+def _privtree_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     dims_per_split: int | None = None,
@@ -57,6 +58,7 @@ def privtree_histogram(
     count_mechanism: str = "laplace",
     rng: RngLike = None,
     max_depth: int | None = DEFAULT_MAX_DEPTH,
+    accountant: PrivacyAccountant | None = None,
 ) -> HistogramTree:
     """The full ε-DP PrivTree synopsis of §3.3–§3.4.
 
@@ -81,6 +83,10 @@ def privtree_histogram(
         ``"laplace"`` (the paper's choice) or ``"geometric"`` — the latter
         releases *integer* leaf counts via the two-sided geometric
         mechanism at the same ε.
+    accountant:
+        An external :class:`PrivacyAccountant` to debit (the §3.4 split is
+        recorded as two ledger entries summing to ``epsilon``); a private
+        one with budget ``epsilon`` is created when omitted.
     """
     if tuples_per_individual < 1:
         raise ValueError(
@@ -90,10 +96,15 @@ def privtree_histogram(
         raise ValueError(
             f"count_mechanism must be 'laplace' or 'geometric', got {count_mechanism!r}"
         )
+    if not 0 < tree_fraction < 1:
+        raise ValueError(f"tree_fraction must be in (0, 1), got {tree_fraction!r}")
     gen = ensure_rng(rng)
-    accountant = PrivacyAccountant(epsilon)
-    eps_tree = accountant.spend_fraction(tree_fraction, "tree structure")
-    eps_counts = accountant.spend_fraction(1.0 - tree_fraction, "leaf counts")
+    if accountant is None:
+        accountant = PrivacyAccountant(epsilon)
+    eps_tree = accountant.spend(tree_fraction * epsilon, "privtree/tree structure")
+    eps_counts = accountant.spend(
+        (1.0 - tree_fraction) * epsilon, "privtree/leaf counts"
+    )
 
     root = SpatialNodeData.root(dataset, dims_per_split)
     params = PrivTreeParams.calibrate(
@@ -133,15 +144,18 @@ def privtree_histogram(
     return HistogramTree(root=release(tree.root))
 
 
-def simpletree_histogram(
+def _simpletree_histogram(
     dataset: SpatialDataset,
     epsilon: float,
     height: int,
     theta: float,
     dims_per_split: int | None = None,
     rng: RngLike = None,
+    accountant: PrivacyAccountant | None = None,
 ) -> HistogramTree:
     """The Algorithm 1 baseline synopsis with noise scale ``h/ε``."""
+    if accountant is not None:
+        accountant.spend(epsilon, "simpletree/node counts")
     root = SpatialNodeData.root(dataset, dims_per_split)
     tree = simpletree_for_epsilon(root, epsilon, theta=theta, height=height, rng=rng)
 
@@ -154,3 +168,9 @@ def simpletree_histogram(
         )
 
     return HistogramTree(root=release(tree.root))
+
+
+privtree_histogram = deprecated_shim(_privtree_histogram, "privtree_histogram", "privtree")
+simpletree_histogram = deprecated_shim(
+    _simpletree_histogram, "simpletree_histogram", "simpletree"
+)

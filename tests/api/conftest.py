@@ -1,0 +1,29 @@
+"""Shared fixtures and per-method fast configurations for the API tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import msnbclike
+
+#: Registry name -> (input family, fast test parameters).  Every advertised
+#: method appears here; a new registration without an entry fails the
+#: exhaustiveness check in test_registry.
+FAST_PARAMS: dict[str, tuple[str, dict]] = {
+    "privtree": ("spatial", {}),
+    "simpletree": ("spatial", {"height": 5}),
+    "ug": ("spatial", {}),
+    "ag": ("spatial", {}),
+    "hierarchy": ("spatial", {}),
+    "dawa": ("spatial", {"cells_per_dim": 32}),
+    "privelet": ("spatial", {"cells_per_dim": 32}),
+    "kdtree": ("spatial", {"height": 4}),
+    "pst": ("sequence", {"l_top": 8}),
+    "ngram": ("sequence", {"l_top": 8, "n_max": 3}),
+}
+
+
+@pytest.fixture(scope="module")
+def sequence_data():
+    """A small browsing-history analogue."""
+    return msnbclike(800, rng=3)

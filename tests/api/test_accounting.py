@@ -1,0 +1,96 @@
+"""Every fit debits the shared accountant by exactly its configured ε."""
+
+import pytest
+
+from repro.api import from_spec, registry
+from repro.mechanisms import BudgetExceededError, PrivacyAccountant
+
+from .conftest import FAST_PARAMS
+
+
+def _fit(name, epsilon, accountant, uniform_2d, sequence_data, rng=0):
+    kind, params = FAST_PARAMS[name]
+    dataset = uniform_2d if kind == "spatial" else sequence_data
+    est = from_spec(name, epsilon=epsilon, **params)
+    return est.fit(dataset, accountant=accountant, rng=rng)
+
+
+class TestSharedAccountant:
+    @pytest.mark.parametrize("name", sorted(FAST_PARAMS))
+    def test_fit_debits_exactly_epsilon(self, name, uniform_2d, sequence_data):
+        epsilon = 0.7
+        acct = PrivacyAccountant(10.0)
+        _fit(name, epsilon, acct, uniform_2d, sequence_data)
+        assert acct.spent == pytest.approx(epsilon, rel=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(FAST_PARAMS))
+    def test_ledger_entries_are_method_labelled(
+        self, name, uniform_2d, sequence_data
+    ):
+        acct = PrivacyAccountant(10.0)
+        _fit(name, 1.0, acct, uniform_2d, sequence_data)
+        assert acct.ledger, "fit must record at least one ledger entry"
+        for label, eps in acct.ledger:
+            assert label.startswith(f"{name}/"), label
+            assert eps > 0
+
+    @pytest.mark.parametrize("name", sorted(FAST_PARAMS))
+    def test_over_budget_raises(self, name, uniform_2d, sequence_data):
+        acct = PrivacyAccountant(0.5)
+        with pytest.raises(BudgetExceededError):
+            _fit(name, 1.0, acct, uniform_2d, sequence_data)
+
+    def test_pipeline_composes_across_methods(self, uniform_2d, sequence_data):
+        # The §3.4 + §4.2 splits of a multi-release pipeline appear as one
+        # auditable ledger, and the budget gates the whole pipeline.
+        acct = PrivacyAccountant(2.0)
+        _fit("privtree", 1.0, acct, uniform_2d, sequence_data, rng=0)
+        _fit("pst", 1.0, acct, uniform_2d, sequence_data, rng=1)
+        assert acct.spent == pytest.approx(2.0)
+        assert acct.remaining == pytest.approx(0.0, abs=1e-9)
+        labels = [label for label, _ in acct.ledger]
+        assert "privtree/tree structure" in labels
+        assert "pst/leaf histograms" in labels
+        with pytest.raises(BudgetExceededError):
+            _fit("ug", 0.1, acct, uniform_2d, sequence_data)
+
+    def test_failed_fit_refunds_the_shared_budget(self, uniform_2d):
+        # AG rejects non-2-d data *after* the budget split would be debited;
+        # the fit must roll its spends back so the pipeline can continue.
+        from repro.datasets import nyclike
+
+        four_d = nyclike(500, rng=0)
+        assert four_d.ndim != 2
+        acct = PrivacyAccountant(1.0)
+        with pytest.raises(ValueError, match="2-d"):
+            from_spec("ag", epsilon=1.0).fit(four_d, accountant=acct, rng=0)
+        assert acct.spent == 0.0
+        assert acct.ledger == []
+        # The refunded budget is still usable.
+        from_spec("ug", epsilon=1.0).fit(four_d, accountant=acct, rng=0)
+        assert acct.spent == pytest.approx(1.0)
+
+    def test_failed_fit_with_invalid_param_refunds(self, uniform_2d):
+        acct = PrivacyAccountant(1.0)
+        with pytest.raises(ValueError, match="count_mechanism"):
+            from_spec("privtree", epsilon=1.0, count_mechanism="gaussian").fit(
+                uniform_2d, accountant=acct, rng=0
+            )
+        assert acct.spent == 0.0
+
+    def test_private_accountant_created_when_omitted(self, uniform_2d):
+        release = from_spec("privtree", epsilon=0.3).fit(uniform_2d, rng=0)
+        assert release.epsilon_spent == 0.3
+
+    def test_shared_accountant_does_not_change_results(self, uniform_2d):
+        # Threading an external accountant is pure bookkeeping: the release
+        # is bit-identical to a fit with the implicit private accountant.
+        from repro.domains import Box
+
+        box = Box((0.1, 0.1), (0.6, 0.7))
+        alone = from_spec("privtree", epsilon=1.0).fit(uniform_2d, rng=7)
+        shared = from_spec("privtree", epsilon=1.0).fit(
+            uniform_2d, accountant=PrivacyAccountant(5.0), rng=7
+        )
+        assert alone.query(box) == shared.query(box)
+        assert alone.size == shared.size

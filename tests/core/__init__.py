@@ -1,0 +1,1 @@
+"""Test package (enables relative imports and unique module names)."""

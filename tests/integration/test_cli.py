@@ -12,6 +12,8 @@ class TestParser:
             a for a in parser._actions if isinstance(a.choices, dict)
         )
         assert set(sub.choices) == {
+            "run",
+            "methods",
             "figure5",
             "figure6",
             "figure7",
@@ -100,3 +102,80 @@ class TestCommands:
         code = main(["table4", "--n", "1500", "--epsilons", "0.4"])
         assert code == 0
         assert "road" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_methods_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("privtree", "ug", "ag", "dawa", "pst", "ngram"):
+            assert name in out
+
+    def test_run_spatial_method(self, capsys, tmp_path):
+        out_file = tmp_path / "release.json"
+        code = main(
+            [
+                "run",
+                "--method",
+                "privtree",
+                "--dataset",
+                "gowalla",
+                "--n",
+                "2000",
+                "--epsilon",
+                "0.5",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "privtree/tree structure" in out
+        assert "privtree/leaf counts" in out
+        assert out_file.exists()
+
+        from repro.api import load_release
+
+        release = load_release(out_file)
+        assert release.method == "privtree"
+        assert release.epsilon_spent == 0.5
+
+    def test_run_sequence_method_defaults_l_top(self, capsys):
+        code = main(
+            ["run", "--method", "pst", "--dataset", "msnbc", "--n", "1000"]
+        )
+        assert code == 0
+        assert "pst/structure" in capsys.readouterr().out
+
+    def test_run_with_param_override(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method",
+                "ug",
+                "--dataset",
+                "gowalla",
+                "--n",
+                "2000",
+                "--param",
+                "size_factor=2.0",
+            ]
+        )
+        assert code == 0
+        assert "ug/cell counts" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_method(self):
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["run", "--method", "nope", "--dataset", "road"])
+
+    def test_run_rejects_unknown_param(self):
+        with pytest.raises(SystemExit, match="valid parameters"):
+            main(["run", "--method", "ug", "--dataset", "road", "--param", "zeta=2"])
+
+    def test_run_rejects_epsilon_via_param(self):
+        with pytest.raises(SystemExit, match="--epsilon"):
+            main(["run", "--method", "ug", "--dataset", "road", "--param", "epsilon=2"])
+
+    def test_run_rejects_kind_mismatch(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "privtree", "--dataset", "msnbc", "--n", "500"])

@@ -53,6 +53,44 @@ class TestAccountant:
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             PrivacyAccountant(0.0)
+
+
+class TestTransaction:
+    def test_commits_on_success(self):
+        acc = PrivacyAccountant(1.0)
+        with acc.transaction():
+            acc.spend(0.4, "a")
+            acc.spend(0.1, "b")
+        assert acc.spent == pytest.approx(0.5)
+        assert [label for label, _ in acc.ledger] == ["a", "b"]
+
+    def test_rolls_back_on_failure(self):
+        acc = PrivacyAccountant(1.0)
+        acc.spend(0.2, "before")
+        with pytest.raises(RuntimeError, match="boom"):
+            with acc.transaction():
+                acc.spend(0.4, "inside")
+                raise RuntimeError("boom")
+        assert acc.spent == pytest.approx(0.2)
+        assert acc.ledger == [("before", 0.2)]
+
+    def test_rolls_back_on_budget_exceeded(self):
+        acc = PrivacyAccountant(1.0)
+        with pytest.raises(BudgetExceededError):
+            with acc.transaction():
+                acc.spend(0.6, "a")
+                acc.spend(0.6, "b")
+        assert acc.spent == 0.0
+
+    def test_nested_transactions_roll_back_innermost_only(self):
+        acc = PrivacyAccountant(1.0)
+        with acc.transaction():
+            acc.spend(0.3, "outer")
+            with pytest.raises(RuntimeError):
+                with acc.transaction():
+                    acc.spend(0.3, "inner")
+                    raise RuntimeError
+        assert acc.ledger == [("outer", 0.3)]
         acc = PrivacyAccountant(1.0)
         with pytest.raises(ValueError):
             acc.spend(-0.1)
