@@ -12,6 +12,10 @@ import numpy as np
 from repro.baselines import dawa_histogram, private_partition
 from repro.datasets import gowallalike, msnbclike
 from repro.domains import Box
+from repro.experiments.perf import (
+    reference_privtree_histogram,
+    reference_workload_answers,
+)
 from repro.sequence import private_pst
 from repro.spatial import generate_workload, privtree_histogram
 
@@ -19,6 +23,18 @@ from repro.spatial import generate_workload, privtree_histogram
 def bench_perf_privtree_build_20k(benchmark):
     data = gowallalike(20_000, rng=0)
     benchmark(lambda: privtree_histogram(data, epsilon=1.0, rng=0))
+
+
+def bench_perf_privtree_build_200k(benchmark):
+    data = gowallalike(200_000, rng=0)
+    benchmark(lambda: privtree_histogram(data, epsilon=1.0, rng=0))
+
+
+def bench_perf_privtree_build_200k_reference(benchmark):
+    # The frozen pre-optimization build path; the 200k case above must come
+    # in at least 2x faster (tracked numerically by `repro bench`).
+    data = gowallalike(200_000, rng=0)
+    benchmark(lambda: reference_privtree_histogram(data, epsilon=1.0, rng=0))
 
 
 def bench_perf_range_count(benchmark):
@@ -30,6 +46,27 @@ def bench_perf_range_count(benchmark):
         return sum(synopsis.range_count(q) for q in queries)
 
     benchmark(run)
+
+
+def bench_perf_range_count_many_1k(benchmark):
+    data = gowallalike(200_000, rng=0)
+    flat = privtree_histogram(data, epsilon=1.0, rng=0).flat()
+    queries = generate_workload(data.domain, "medium", 1_000, rng=1)
+    benchmark(lambda: flat.range_count_many(queries))
+
+
+def bench_perf_range_count_1k_reference(benchmark):
+    # The per-query recursive traversal over the same 1k-query workload; the
+    # batched case above must come in at least 10x faster.
+    data = gowallalike(200_000, rng=0)
+    synopsis = privtree_histogram(data, epsilon=1.0, rng=0)
+    queries = generate_workload(data.domain, "medium", 1_000, rng=1)
+    benchmark(lambda: reference_workload_answers(synopsis, queries))
+
+
+def bench_perf_workload_generation_10k(benchmark):
+    data = gowallalike(1_000, rng=0)
+    benchmark(lambda: generate_workload(data.domain, "medium", 10_000, rng=1))
 
 
 def bench_perf_private_pst_build(benchmark):

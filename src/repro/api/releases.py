@@ -46,6 +46,10 @@ class SpatialRelease(Release):
         """Alias of :meth:`query` (the historical synopsis surface)."""
         raise NotImplementedError
 
+    def range_count_many(self, boxes: Sequence[Box]) -> np.ndarray:
+        """Answer a whole workload; subclasses override with batched engines."""
+        return np.array([self.range_count(box) for box in boxes])
+
 
 class SpatialTreeRelease(SpatialRelease):
     """A released hierarchical synopsis (PrivTree, SimpleTree, k-d tree)."""
@@ -73,7 +77,13 @@ class SpatialTreeRelease(SpatialRelease):
         return self.tree.height
 
     def range_count(self, box: Box) -> float:
-        return self.tree.range_count(box)
+        # Answered by the compiled flat synopsis (cached on the tree); the
+        # pointer-based traversal remains available as tree.range_count.
+        return self.tree.flat().range_count(box)
+
+    def range_count_many(self, boxes: Sequence[Box]) -> np.ndarray:
+        """Vectorized workload evaluation via the flat synopsis."""
+        return self.tree.range_count_many(boxes)
 
     def to_grid(self, shape: tuple[int, ...]) -> np.ndarray:
         """Rasterize the synopsis (see :meth:`HistogramTree.to_grid`)."""

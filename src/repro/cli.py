@@ -9,6 +9,7 @@ Examples::
     repro figure6 --dataset msnbc --k 100
     repro figure7 --dataset mooc
     repro table4
+    repro bench --out BENCH_perf.json
     repro svt
     repro datasets
 
@@ -95,6 +96,23 @@ def build_parser() -> argparse.ArgumentParser:
     table4 = sub.add_parser("table4", help="PrivTree running time")
     common(table4)
 
+    bench = sub.add_parser(
+        "bench", help="perf micro-benchmarks (hot paths vs. reference engines)"
+    )
+    bench.add_argument("--n", type=int, default=200_000, help="dataset cardinality")
+    bench.add_argument("--queries", type=int, default=1_000, help="workload size")
+    bench.add_argument(
+        "--band", default="medium", choices=["small", "medium", "large"]
+    )
+    bench.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
+    bench.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
+    bench.add_argument("--seed", type=int, default=0, help="rng seed")
+    bench.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="machine-readable results path (default: BENCH_perf.json)",
+    )
+
     sub.add_parser("svt", help="SVT privacy-loss counterexamples")
     sub.add_parser("datasets", help="dataset characteristics (Tables 2-3)")
     return parser
@@ -174,6 +192,35 @@ def _run_methods() -> str:
         params = ", ".join(f"{k}={v!r}" for k, v in spec["params"].items())
         lines.append(f"  {spec['name']:11s} {spec['kind']:9s} {spec['summary']}")
         lines.append(f"  {'':11s} {'':9s} params: {params}")
+    return "\n".join(lines)
+
+
+def _run_bench(args: argparse.Namespace) -> str:
+    from .experiments import run_perf_bench, write_bench_json
+
+    results = run_perf_bench(
+        n_points=args.n,
+        n_queries=args.queries,
+        band=args.band,
+        epsilon=args.epsilon,
+        repeats=args.repeats,
+        rng=args.seed,
+    )
+    lines = [
+        f"perf bench (n={args.n:,}, {args.queries:,} {args.band} queries, "
+        f"best of {args.repeats})",
+    ]
+    for name, case in results["cases"].items():
+        line = f"  {name:20s} {case['optimized_s']*1e3:9.1f} ms"
+        if "reference_s" in case:
+            line += (
+                f"   reference {case['reference_s']*1e3:9.1f} ms"
+                f"   speedup {case['speedup']:5.1f}x"
+            )
+        lines.append(line)
+    if args.out:
+        write_bench_json(results, args.out)
+        lines.append(f"results written to {args.out}")
     return "\n".join(lines)
 
 
@@ -258,6 +305,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             rng=args.seed,
         )
         print(result.to_table(format_seconds))
+    elif args.command == "bench":
+        print(_run_bench(args))
     elif args.command == "svt":
         print(_run_svt())
     elif args.command == "datasets":

@@ -1,11 +1,17 @@
 """PrivTree — Algorithm 2 of the paper, generic over the domain.
 
-The engine walks a frontier of unvisited nodes.  For each node ``v`` it
+The engine walks the frontier level by level.  For each node ``v`` it
 
 1. computes the biased score ``b(v) = max(theta - delta, score(v) - depth(v) * delta)``
    (Equation (8)),
 2. perturbs it: ``bhat(v) = b(v) + Lap(lam)``,
 3. splits ``v`` iff ``bhat(v) > theta``.
+
+All of a level's Laplace perturbations are drawn in a single batched RNG
+call.  numpy fills a sized ``Generator.laplace`` request from the same
+underlying stream, in the same order, as repeated scalar calls, so the
+decomposition is bit-identical to the historical one-draw-per-node engine:
+the draw order remains BFS over splittable nodes only.
 
 No height limit is needed: the decaying bias makes the expected tree size at
 most twice the noise-free tree (Lemma 3.2).  The engine works on any
@@ -21,7 +27,6 @@ postprocessing pass (§3.4).
 from __future__ import annotations
 
 import warnings
-from collections import deque
 from typing import TypeVar
 
 from ..domains.base import NodePayload
@@ -73,26 +78,41 @@ def privtree(
     """
     gen = ensure_rng(rng)
     root = TreeNode(payload=root_payload, depth=0)
-    frontier: deque[TreeNode[P]] = deque([root])
+    level: list[TreeNode[P]] = [root]
     guard_hit = False
-    while frontier:
-        node = frontier.popleft()
-        if not node.payload.can_split():
-            continue
-        if max_depth is not None and node.depth >= max_depth:
-            guard_hit = True
-            continue
-        biased = max(
-            params.floor(),
-            node.payload.score() - node.depth * params.delta,
-        )
-        noisy = biased + laplace_noise(params.lam, rng=gen)
-        if noisy > params.theta:
+    floor = params.floor()
+    # Payload classes may vectorize a whole level's splits (see
+    # SpatialNodeData.split_many); others fall back to node-by-node split().
+    split_many = getattr(type(root_payload), "split_many", None)
+    while level:
+        eligible: list[TreeNode[P]] = []
+        for node in level:
+            if not node.payload.can_split():
+                continue
+            if max_depth is not None and node.depth >= max_depth:
+                guard_hit = True
+                continue
+            eligible.append(node)
+        if not eligible:
+            break
+        noise = laplace_noise(params.lam, size=len(eligible), rng=gen)
+        to_split: list[TreeNode[P]] = []
+        for node, perturbation in zip(eligible, noise):
+            biased = max(floor, node.payload.score() - node.depth * params.delta)
+            if biased + perturbation > params.theta:
+                to_split.append(node)
+        if split_many is not None:
+            children_lists = split_many([node.payload for node in to_split])
+        else:
+            children_lists = [node.payload.split() for node in to_split]
+        next_level: list[TreeNode[P]] = []
+        for node, child_payloads in zip(to_split, children_lists):
             node.children = [
                 TreeNode(payload=child, depth=node.depth + 1)
-                for child in node.payload.split()
+                for child in child_payloads
             ]
-            frontier.extend(node.children)
+            next_level.extend(node.children)
+        level = next_level
     if guard_hit:
         warnings.warn(
             f"PrivTree hit the max_depth={max_depth} guard; the decomposition "

@@ -12,7 +12,6 @@ they are stored on each node as ``noisy_score``.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import TypeVar
 
 from ..domains.base import NodePayload
@@ -53,21 +52,34 @@ def simpletree(
         raise ValueError(f"lam must be positive, got {lam!r}")
     gen = ensure_rng(rng)
     root = TreeNode(payload=root_payload, depth=0)
-    frontier: deque[TreeNode[P]] = deque([root])
-    while frontier:
-        node = frontier.popleft()
-        noisy = node.payload.score() + laplace_noise(lam, rng=gen)
-        node.noisy_score = noisy
-        if (
-            noisy > theta
-            and node.depth < height - 1
-            and node.payload.can_split()
-        ):
+    level: list[TreeNode[P]] = [root]
+    split_many = getattr(type(root_payload), "split_many", None)
+    while level:
+        # One batched draw per level; numpy's sized laplace consumes the same
+        # stream as per-node scalar draws, so results are bit-identical.
+        noise = laplace_noise(lam, size=len(level), rng=gen)
+        to_split: list[TreeNode[P]] = []
+        for node, perturbation in zip(level, noise):
+            noisy = node.payload.score() + float(perturbation)
+            node.noisy_score = noisy
+            if (
+                noisy > theta
+                and node.depth < height - 1
+                and node.payload.can_split()
+            ):
+                to_split.append(node)
+        if split_many is not None:
+            children_lists = split_many([node.payload for node in to_split])
+        else:
+            children_lists = [node.payload.split() for node in to_split]
+        next_level: list[TreeNode[P]] = []
+        for node, child_payloads in zip(to_split, children_lists):
             node.children = [
                 TreeNode(payload=child, depth=node.depth + 1)
-                for child in node.payload.split()
+                for child in child_payloads
             ]
-            frontier.extend(node.children)
+            next_level.extend(node.children)
+        level = next_level
     return DecompositionTree(root=root)
 
 

@@ -45,6 +45,14 @@ class Box:
         """Build a box from any float iterables (e.g. numpy arrays)."""
         return Box(tuple(float(x) for x in low), tuple(float(x) for x in high))
 
+    @classmethod
+    def _trusted(cls, low: tuple[float, ...], high: tuple[float, ...]) -> "Box":
+        """Construct without re-validating (internal: inputs already checked)."""
+        box = object.__new__(cls)
+        object.__setattr__(box, "low", low)
+        object.__setattr__(box, "high", high)
+        return box
+
     @staticmethod
     def unit(ndim: int) -> "Box":
         """The unit cube ``[0, 1)^ndim``."""
@@ -157,7 +165,17 @@ class Box:
             if d in seen:
                 raise ValueError(f"dimension {d} repeated")
             seen.add(d)
-        mid = {d: (self.low[d] + self.high[d]) / 2.0 for d in dims}
+        mid = {}
+        for d in dims:
+            m = (self.low[d] + self.high[d]) / 2.0
+            if not self.low[d] < m < self.high[d]:
+                raise ValueError(
+                    f"degenerate extent [{self.low[d]}, {self.high[d]}) at "
+                    f"dimension {d}: midpoint collapses onto an endpoint"
+                )
+            mid[d] = m
+        # Children skip per-box revalidation: every extent is either inherited
+        # from this (already valid) box or one of the above-checked halves.
         children = []
         for choice in itertools.product((0, 1), repeat=len(dims)):
             low = list(self.low)
@@ -167,7 +185,7 @@ class Box:
                     high[d] = mid[d]
                 else:
                     low[d] = mid[d]
-            children.append(Box(tuple(low), tuple(high)))
+            children.append(Box._trusted(tuple(low), tuple(high)))
         return children
 
     def can_bisect(self, dims: Sequence[int] | None = None) -> bool:

@@ -20,6 +20,7 @@ from .spatial_error import (
     run_ug_gridsize_ablation,
     spatial_method_registry,
 )
+from .perf import run_perf_bench, write_bench_json
 from .timing import run_privtree_timing
 
 __all__ = [
@@ -33,7 +34,9 @@ __all__ = [
     "run_hierarchy_height_ablation",
     "run_length_distribution_experiment",
     "run_ngram_height_ablation",
+    "run_perf_bench",
     "run_privtree_timing",
+    "write_bench_json",
     "run_range_query_experiment",
     "run_topk_experiment",
     "run_ug_gridsize_ablation",

@@ -1,0 +1,251 @@
+"""Performance micro-benchmarks of the spatial hot paths (``repro bench``).
+
+Measures the current array-backed engines against frozen *reference*
+implementations that replicate the pre-optimization code paths (per-child
+``contains_points`` scans with copied point arrays, one scalar Laplace draw
+per node, recursive per-query range counting).  Both paths consume the RNG
+stream identically, so the reference build produces the **same** synopsis —
+the comparison isolates engine cost, and the harness verifies agreement
+while it measures.
+
+Results are returned as a plain dict (and written as ``BENCH_perf.json`` by
+the CLI) so CI can archive the numbers and the perf trajectory is
+machine-readable.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..core.node import DecompositionTree, TreeNode
+from ..core.params import PrivTreeParams
+from ..datasets.spatial import gowallalike
+from ..mechanisms.laplace import laplace_noise
+from ..mechanisms.rng import ensure_rng
+from ..spatial.dataset import SpatialDataset
+from ..spatial.histogram_tree import HistogramNode, HistogramTree
+from ..spatial.quadtree import _privtree_histogram
+from ..spatial.queries import generate_workload
+
+__all__ = [
+    "reference_privtree_histogram",
+    "reference_workload_answers",
+    "run_perf_bench",
+    "write_bench_json",
+]
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-optimization reference implementations
+# ----------------------------------------------------------------------
+
+
+class _ReferencePayload:
+    """The historical spatial payload: copied point arrays per node."""
+
+    __slots__ = ("box", "points", "dims_per_split", "next_dim")
+
+    def __init__(self, box, points, dims_per_split, next_dim=0):
+        self.box = box
+        self.points = points
+        self.dims_per_split = dims_per_split
+        self.next_dim = next_dim
+
+    def _split_dims(self):
+        d = self.box.ndim
+        return [(self.next_dim + j) % d for j in range(self.dims_per_split)]
+
+    def score(self):
+        return float(self.points.shape[0])
+
+    def can_split(self):
+        return self.box.can_bisect(self._split_dims())
+
+    def split(self):
+        dims = self._split_dims()
+        next_dim = (self.next_dim + self.dims_per_split) % self.box.ndim
+        children = []
+        for child_box in self.box.bisect(dims):
+            mask = child_box.contains_points(self.points)
+            children.append(
+                _ReferencePayload(
+                    box=child_box,
+                    points=self.points[mask],
+                    dims_per_split=self.dims_per_split,
+                    next_dim=next_dim,
+                )
+            )
+        return children
+
+
+def _reference_privtree(root_payload, params, gen):
+    """Algorithm 2 with one scalar Laplace draw per splittable node."""
+    from collections import deque
+
+    root = TreeNode(payload=root_payload, depth=0)
+    frontier = deque([root])
+    while frontier:
+        node = frontier.popleft()
+        if not node.payload.can_split():
+            continue
+        if node.depth >= 64:
+            continue
+        biased = max(
+            params.floor(), node.payload.score() - node.depth * params.delta
+        )
+        if biased + laplace_noise(params.lam, rng=gen) > params.theta:
+            node.children = [
+                TreeNode(payload=child, depth=node.depth + 1)
+                for child in node.payload.split()
+            ]
+            frontier.extend(node.children)
+    return DecompositionTree(root=root)
+
+
+def reference_privtree_histogram(
+    dataset: SpatialDataset, epsilon: float, rng=None
+) -> HistogramTree:
+    """The pre-optimization §3.3+§3.4 pipeline (node-at-a-time, scalar RNG).
+
+    Stream-compatible with :func:`repro.spatial.quadtree.privtree_histogram`
+    at default parameters, so both produce the identical release for a
+    given seed — kept solely as the speedup baseline for ``repro bench``.
+    """
+    gen = ensure_rng(rng)
+    eps_tree = 0.5 * epsilon
+    eps_counts = epsilon - eps_tree
+    root = _ReferencePayload(
+        box=dataset.domain, points=dataset.points, dims_per_split=dataset.ndim
+    )
+    params = PrivTreeParams.calibrate(eps_tree, fanout=2**dataset.ndim, theta=0.0)
+    tree = _reference_privtree(root, params, gen)
+    count_scale = 1.0 / eps_counts
+
+    def release(node):
+        if node.is_leaf:
+            return HistogramNode(
+                box=node.payload.box,
+                count=node.payload.score() + laplace_noise(count_scale, rng=gen),
+            )
+        children = [release(c) for c in node.children]
+        return HistogramNode(
+            box=node.payload.box,
+            count=sum(c.count for c in children),
+            children=children,
+        )
+
+    return HistogramTree(root=release(tree.root))
+
+
+def reference_workload_answers(tree: HistogramTree, queries) -> np.ndarray:
+    """Per-query recursive traversal — the pre-optimization query path."""
+    return np.array([tree.range_count(q) for q in queries])
+
+
+# ----------------------------------------------------------------------
+# The benchmark harness
+# ----------------------------------------------------------------------
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> tuple[float, object]:
+    """(best wall time, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_perf_bench(
+    n_points: int = 200_000,
+    n_queries: int = 1_000,
+    band: str = "medium",
+    epsilon: float = 1.0,
+    repeats: int = 3,
+    rng: int = 0,
+) -> dict:
+    """Time the optimized vs. reference spatial hot paths.
+
+    Returns a JSON-ready dict: per-case best-of-``repeats`` wall times, the
+    speedup ratios, and the max |flat - recursive| query deviation (the
+    harness fails loudly if the engines disagree beyond 1e-9 relative).
+    """
+    data = gowallalike(n_points, rng=rng)
+    queries = generate_workload(data.domain, band, n_queries, rng=rng + 1)
+
+    build_s, synopsis = _best_of(
+        repeats, lambda: _privtree_histogram(data, epsilon=epsilon, rng=rng)
+    )
+    build_ref_s, reference = _best_of(
+        repeats, lambda: reference_privtree_histogram(data, epsilon=epsilon, rng=rng)
+    )
+    if synopsis.size != reference.size or synopsis.total_count != reference.total_count:
+        raise AssertionError(
+            "optimized and reference builds diverged: "
+            f"size {synopsis.size} vs {reference.size}, "
+            f"total {synopsis.total_count} vs {reference.total_count}"
+        )
+
+    flat = synopsis.flat()  # compile outside the timed region, like callers do
+    query_s, batched = _best_of(repeats, lambda: flat.range_count_many(queries))
+    query_ref_s, recursive = _best_of(
+        repeats, lambda: reference_workload_answers(synopsis, queries)
+    )
+    scale = max(1.0, float(np.abs(recursive).max()))
+    max_deviation = float(np.abs(batched - recursive).max())
+    if max_deviation > 1e-9 * scale:
+        raise AssertionError(
+            f"flat engine deviates from the recursive traversal by {max_deviation}"
+        )
+
+    workload_s, _ = _best_of(
+        repeats, lambda: generate_workload(data.domain, band, n_queries, rng=rng + 1)
+    )
+
+    return {
+        "config": {
+            "n_points": n_points,
+            "n_queries": n_queries,
+            "band": band,
+            "epsilon": epsilon,
+            "repeats": repeats,
+            "rng": rng,
+            "tree_nodes": synopsis.size,
+            "tree_leaves": synopsis.leaf_count,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "cases": {
+            "privtree_build": {
+                "optimized_s": build_s,
+                "reference_s": build_ref_s,
+                "speedup": build_ref_s / build_s,
+            },
+            "workload_queries": {
+                "optimized_s": query_s,
+                "reference_s": query_ref_s,
+                "speedup": query_ref_s / query_s,
+                "max_abs_deviation": max_deviation,
+            },
+            "workload_generation": {
+                "optimized_s": workload_s,
+            },
+        },
+    }
+
+
+def write_bench_json(results: dict, path: str) -> None:
+    """Persist bench results as machine-readable JSON."""
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -15,7 +15,7 @@ from ..api import registry
 from ..datasets.registry import SPATIAL_DATASETS
 from ..mechanisms.rng import RngLike, ensure_rng, spawn
 from ..spatial.dataset import SpatialDataset
-from ..spatial.metrics import average_relative_error
+from ..spatial.metrics import SMOOTHING_FRACTION, workload_error
 from ..spatial.queries import QUERY_BANDS, generate_workload
 from .results import SweepResult
 
@@ -78,6 +78,10 @@ def _sweep(
 ) -> SweepResult:
     gen = ensure_rng(rng)
     queries = generate_workload(dataset.domain, QUERY_BANDS[band], n_queries, gen)
+    # The exact workload answers do not depend on the method, budget, or
+    # repetition: compute them once, vectorized, for the whole sweep.
+    exacts = dataset.count_in_many(queries)
+    smoothing = SMOOTHING_FRACTION * dataset.n
     result = SweepResult(title=title, row_label="epsilon", rows=list(epsilons), columns=[])
     for name, builder in methods.items():
         column = []
@@ -85,9 +89,7 @@ def _sweep(
             errors = []
             for rep_rng in spawn(ensure_rng(gen.integers(2**32)), n_reps):
                 synopsis = builder(dataset, eps, rep_rng)
-                errors.append(
-                    average_relative_error(synopsis.range_count, dataset, queries)
-                )
+                errors.append(workload_error(synopsis, queries, exacts, smoothing))
             column.append(float(np.mean(errors)))
         result.add_column(name, column)
     return result

@@ -15,7 +15,12 @@ import numpy as np
 
 from .rng import RngLike, ensure_rng
 
-__all__ = ["geometric_noise", "geometric_mechanism", "geometric_pmf"]
+__all__ = [
+    "geometric_noise",
+    "geometric_noise_interleaved",
+    "geometric_mechanism",
+    "geometric_pmf",
+]
 
 
 def _check_alpha(epsilon: float, sensitivity: float) -> float:
@@ -54,6 +59,29 @@ def geometric_noise(
     if size is None:
         return int(noise[0])
     return noise
+
+
+def geometric_noise_interleaved(
+    epsilon: float,
+    n: int,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``n`` two-sided geometric draws in one batched RNG request.
+
+    Stream-compatible with ``n`` successive scalar :func:`geometric_noise`
+    calls: the scalar path alternates one "plus" and one "minus" geometric
+    draw per sample, and a C-ordered ``(n, 2)`` request consumes the
+    underlying stream in exactly that interleaved order, so the returned
+    noise is bit-identical to the historical per-value loop.
+    """
+    alpha = _check_alpha(epsilon, sensitivity)
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n!r}")
+    gen = ensure_rng(rng)
+    p = 1.0 - alpha
+    draws = gen.geometric(p, size=(n, 2)) - 1
+    return draws[:, 0] - draws[:, 1]
 
 
 def geometric_mechanism(

@@ -1,6 +1,7 @@
 """Private spatial decompositions: datasets, trees, queries, metrics."""
 
 from .dataset import SpatialDataset
+from .flat import FlatHistogram, flatten_tree
 from .histogram_tree import HistogramNode, HistogramTree
 from .metrics import SMOOTHING_FRACTION, average_relative_error, relative_error
 from .payload import SpatialNodeData
@@ -11,8 +12,10 @@ from .serialize import load_tree, save_tree, tree_from_dict, tree_to_dict
 
 __all__ = [
     "QUERY_BANDS",
+    "FlatHistogram",
     "HistogramNode",
     "HistogramTree",
+    "flatten_tree",
     "QueryBand",
     "SMOOTHING_FRACTION",
     "SpatialDataset",

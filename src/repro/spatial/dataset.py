@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -64,6 +65,36 @@ class SpatialDataset:
     def count_in(self, box: Box) -> int:
         """Exact number of points in ``box`` (the true answer of a range query)."""
         return box.count_points(self.points)
+
+    def count_in_many(self, boxes: "Sequence[Box]") -> np.ndarray:
+        """Exact counts for a whole workload, vectorized.
+
+        Tests all queries against blocks of points with one broadcast per
+        dimension, so evaluating a workload costs one pass over the data
+        instead of one per query.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            return np.empty(0, dtype=np.int64)
+        lows = np.array([b.low for b in boxes])  # (q, d)
+        highs = np.array([b.high for b in boxes])
+        if lows.shape[1] != self.ndim:
+            raise ValueError(
+                f"queries have {lows.shape[1]} dims but the dataset has {self.ndim}"
+            )
+        counts = np.zeros(len(boxes), dtype=np.int64)
+        # Block the points so the (queries x points) mask stays ~tens of MB.
+        block = max(1, 4_000_000 // len(boxes))
+        for start in range(0, self.n, block):
+            chunk = self.points[start : start + block]
+            inside = np.ones((len(boxes), chunk.shape[0]), dtype=bool)
+            for dim in range(self.ndim):
+                coords = chunk[:, dim]
+                inside &= (coords >= lows[:, dim, None]) & (
+                    coords < highs[:, dim, None]
+                )
+            counts += inside.sum(axis=1)
+        return counts
 
     def restrict(self, box: Box) -> "SpatialDataset":
         """The sub-dataset of points falling in ``box`` (with ``box`` as domain)."""

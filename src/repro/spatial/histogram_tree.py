@@ -41,38 +41,75 @@ class HistogramNode:
 
 @dataclass
 class HistogramTree:
-    """A private spatial synopsis supporting range-count queries."""
+    """A private spatial synopsis supporting range-count queries.
+
+    Structural statistics (``size``, ``leaf_count``, ``height``) and the
+    array-backed query engine (:meth:`flat`) are computed lazily on first
+    access and cached: released trees are never mutated after construction,
+    and experiments read these per trial.
+    """
 
     root: HistogramNode
+    _stats: tuple[int, int, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _flat: "FlatHistogram | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _compute_stats(self) -> tuple[int, int, int]:
+        """(size, leaf_count, height) in one iterative traversal."""
+        if self._stats is None:
+            size = leaves = height = 0
+            stack = [(self.root, 0)]
+            while stack:
+                node, depth = stack.pop()
+                size += 1
+                if node.is_leaf:
+                    leaves += 1
+                    if depth > height:
+                        height = depth
+                else:
+                    stack.extend((child, depth + 1) for child in node.children)
+            self._stats = (size, leaves, height)
+        return self._stats
 
     @property
     def size(self) -> int:
         """Total number of nodes."""
-        return sum(1 for _ in self.root.iter_nodes())
+        return self._compute_stats()[0]
 
     @property
     def leaf_count(self) -> int:
         """Number of leaves."""
-        return sum(1 for n in self.root.iter_nodes() if n.is_leaf)
+        return self._compute_stats()[1]
 
     @property
     def height(self) -> int:
         """Number of levels minus one (root-only tree has height 0)."""
-
-        def depth_of(node: HistogramNode) -> int:
-            if node.is_leaf:
-                return 0
-            return 1 + max(depth_of(c) for c in node.children)
-
-        return depth_of(self.root)
+        return self._compute_stats()[2]
 
     @property
     def total_count(self) -> float:
         """The (noisy) total number of points."""
         return self.root.count
 
+    def flat(self) -> "FlatHistogram":
+        """The compiled array-backed synopsis (built once, then cached)."""
+        if self._flat is None:
+            from .flat import FlatHistogram
+
+            self._flat = FlatHistogram.from_tree(self)
+        return self._flat
+
     def range_count(self, query: Box) -> float:
-        """Answer a range-count query via the §2.2 traversal."""
+        """Answer a range-count query via the §2.2 traversal.
+
+        This is the reference pointer-chasing implementation;
+        :meth:`flat` answers the same queries from contiguous arrays
+        (``tree.flat().range_count(q)``) and should be preferred on hot
+        paths, especially for whole workloads via ``range_count_many``.
+        """
         answer = 0.0
         stack = [self.root]
         while stack:
@@ -86,6 +123,10 @@ class HistogramTree:
             else:
                 stack.extend(node.children)
         return answer
+
+    def range_count_many(self, queries) -> "np.ndarray":
+        """Answer a whole workload via the flat engine (see :mod:`.flat`)."""
+        return self.flat().range_count_many(queries)
 
     def leaf_boxes(self) -> list[Box]:
         """The sub-domains of all leaves (the decomposition's cells)."""

@@ -12,10 +12,18 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..domains.box import Box
 from .dataset import SpatialDataset
 
-__all__ = ["relative_error", "average_relative_error", "SMOOTHING_FRACTION"]
+__all__ = [
+    "relative_error",
+    "average_relative_error",
+    "average_relative_error_from_answers",
+    "workload_error",
+    "SMOOTHING_FRACTION",
+]
 
 #: Δ = 0.1% of n, per Section 6.1 (following Qardaji et al. / Privelet).
 SMOOTHING_FRACTION = 0.001
@@ -47,3 +55,48 @@ def average_relative_error(
         exact = dataset.count_in(query)
         total += relative_error(answer(query), exact, smoothing)
     return total / len(queries)
+
+
+def average_relative_error_from_answers(
+    estimates: np.ndarray,
+    exacts: np.ndarray,
+    smoothing: float,
+) -> float:
+    """Vectorized mean relative error given precomputed answer vectors.
+
+    The batched counterpart of :func:`average_relative_error`: experiments
+    compute the exact workload answers once (``dataset.count_in_many``) and
+    each synopsis's answers with its batched engine, then score them here.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    exacts = np.asarray(exacts, dtype=float)
+    if estimates.shape != exacts.shape:
+        raise ValueError(
+            f"shape mismatch: {estimates.shape} estimates vs {exacts.shape} exacts"
+        )
+    if estimates.size == 0:
+        raise ValueError("workload must contain at least one query")
+    if smoothing <= 0:
+        raise ValueError(f"smoothing must be positive, got {smoothing!r}")
+    return float(
+        np.mean(np.abs(estimates - exacts) / np.maximum(exacts, smoothing))
+    )
+
+
+def workload_error(
+    synopsis: object,
+    queries: Sequence[Box],
+    exacts: np.ndarray,
+    smoothing: float,
+) -> float:
+    """Mean relative error of a synopsis over a precomputed workload.
+
+    Uses the synopsis's batched ``range_count_many`` when it has one,
+    falling back to a per-query ``range_count`` loop.
+    """
+    batched = getattr(synopsis, "range_count_many", None)
+    if batched is not None:
+        estimates = np.asarray(batched(queries), dtype=float)
+    else:
+        estimates = np.array([synopsis.range_count(q) for q in queries])
+    return average_relative_error_from_answers(estimates, exacts, smoothing)

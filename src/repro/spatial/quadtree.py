@@ -13,13 +13,15 @@ counts it computed *are* the release (scale ``h/ε``).
 
 from __future__ import annotations
 
+import numpy as np
+
 from .._compat import deprecated_shim
 from ..core.node import TreeNode
 from ..core.params import PrivTreeParams
 from ..core.privtree import DEFAULT_MAX_DEPTH, privtree
 from ..core.simpletree import simpletree_for_epsilon
 from ..mechanisms.accountant import PrivacyAccountant
-from ..mechanisms.geometric import geometric_noise
+from ..mechanisms.geometric import geometric_noise_interleaved
 from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import RngLike, ensure_rng
 from .dataset import SpatialDataset
@@ -115,33 +117,44 @@ def _privtree_histogram(
     )
     tree = privtree(root, params, rng=gen, max_depth=max_depth)
 
-    # Leaf-count sensitivity: an individual's x points land in at most x leaves.
+    # Leaf-count sensitivity: an individual's x points land in at most x
+    # leaves.  All leaf perturbations are drawn in one batched RNG call, in
+    # the DFS left-to-right leaf order of the historical per-leaf loop (both
+    # batch shapes consume the stream identically, so counts are unchanged).
+    nodes = tree.nodes()
+    leaves = [node for node in nodes if node.is_leaf]
+    exact = np.array([leaf.payload.score() for leaf in leaves], dtype=float)
     if count_mechanism == "laplace":
         count_scale = tuples_per_individual / eps_counts
-
-        def noisy_count(exact: float) -> float:
-            return exact + laplace_noise(count_scale, rng=gen)
-
+        noisy = exact + laplace_noise(count_scale, size=len(leaves), rng=gen)
     else:
+        noisy = exact.astype(np.int64) + geometric_noise_interleaved(
+            eps_counts,
+            len(leaves),
+            sensitivity=float(tuples_per_individual),
+            rng=gen,
+        )
+    leaf_counts = {id(leaf): float(value) for leaf, value in zip(leaves, noisy)}
+    return _release_histogram(nodes, leaf_counts)
 
-        def noisy_count(exact: float) -> float:
-            return float(
-                int(exact)
-                + geometric_noise(
-                    eps_counts, sensitivity=float(tuples_per_individual), rng=gen
-                )
-            )
 
-    def release(node: TreeNode[SpatialNodeData]) -> HistogramNode:
+def _release_histogram(
+    nodes: list[TreeNode[SpatialNodeData]],
+    leaf_counts: dict[int, float],
+) -> HistogramTree:
+    """Assemble the released tree: leaves get ``leaf_counts``, internal
+    nodes the sum of their children (reverse pre-order, so no recursion)."""
+    released: dict[int, HistogramNode] = {}
+    for node in reversed(nodes):
+        children = [released[id(c)] for c in node.children]
         if node.is_leaf:
-            return HistogramNode(
-                box=node.payload.box, count=noisy_count(node.payload.score())
-            )
-        children = [release(c) for c in node.children]
-        total = sum(c.count for c in children)
-        return HistogramNode(box=node.payload.box, count=total, children=children)
-
-    return HistogramTree(root=release(tree.root))
+            count = leaf_counts[id(node)]
+        else:
+            count = sum(c.count for c in children)
+        released[id(node)] = HistogramNode(
+            box=node.payload.box, count=count, children=children
+        )
+    return HistogramTree(root=released[id(nodes[0])])
 
 
 def _simpletree_histogram(
@@ -158,16 +171,14 @@ def _simpletree_histogram(
         accountant.spend(epsilon, "simpletree/node counts")
     root = SpatialNodeData.root(dataset, dims_per_split)
     tree = simpletree_for_epsilon(root, epsilon, theta=theta, height=height, rng=rng)
-
-    def release(node: TreeNode[SpatialNodeData]) -> HistogramNode:
-        children = [release(c) for c in node.children]
-        return HistogramNode(
+    released: dict[int, HistogramNode] = {}
+    for node in reversed(tree.nodes()):
+        released[id(node)] = HistogramNode(
             box=node.payload.box,
             count=float(node.noisy_score),
-            children=children,
+            children=[released[id(c)] for c in node.children],
         )
-
-    return HistogramTree(root=release(tree.root))
+    return HistogramTree(root=released[id(tree.root)])
 
 
 privtree_histogram = deprecated_shim(_privtree_histogram, "privtree_histogram", "privtree")

@@ -66,8 +66,29 @@ def generate_workload(
     n_queries: int,
     rng: RngLike = None,
 ) -> list[Box]:
-    """A workload of ``n_queries`` random queries in the given band."""
+    """A workload of ``n_queries`` random queries in the given band.
+
+    Each query is distributed exactly as :func:`random_query`, but all
+    log-fractions, Dirichlet weights, and placements are drawn in three
+    batched RNG calls instead of a per-query Python loop.  (The batched
+    calls interleave the underlying stream differently, so a seed produces a
+    different — identically distributed — workload than ``n_queries``
+    successive :func:`random_query` calls.)
+    """
     if isinstance(band, str):
         band = QUERY_BANDS[band]
     gen = ensure_rng(rng)
-    return [random_query(domain, band, gen) for _ in range(n_queries)]
+    if n_queries <= 0:
+        return []
+    d = domain.ndim
+    log_fractions = gen.uniform(np.log(band.lo), np.log(band.hi), size=n_queries)
+    weights = gen.dirichlet(np.ones(d), size=n_queries)  # (n, d)
+    placements = gen.uniform(0.0, 1.0, size=(n_queries, d))
+    side_fractions = np.exp(weights * log_fractions[:, None])
+    extents = np.asarray(domain.extents)
+    sides = side_fractions * extents
+    lows = np.asarray(domain.low) + placements * (extents - sides)
+    highs = lows + sides
+    return [
+        Box.from_arrays(lows[i], highs[i]) for i in range(n_queries)
+    ]

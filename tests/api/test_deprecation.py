@@ -54,7 +54,10 @@ class TestDeprecationShims:
         new = from_spec(name, epsilon=1.0, **params).fit(
             uniform_2d, rng=np.random.default_rng(11)
         )
-        assert old.range_count(QUERY) == new.query(QUERY)
+        # The release surface answers via the flat array engine, whose
+        # summation order differs from the recursive traversal by float
+        # round-off only — so approx at a far-sub-noise tolerance.
+        assert old.range_count(QUERY) == pytest.approx(new.query(QUERY), rel=1e-12)
 
     @pytest.mark.parametrize(
         "legacy,name",

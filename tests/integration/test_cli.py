@@ -18,6 +18,7 @@ class TestParser:
             "figure6",
             "figure7",
             "table4",
+            "bench",
             "svt",
             "datasets",
         }
@@ -102,6 +103,36 @@ class TestCommands:
         code = main(["table4", "--n", "1500", "--epsilons", "0.4"])
         assert code == 0
         assert "road" in capsys.readouterr().out
+
+    def test_bench_small_run(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "bench",
+                "--n",
+                "3000",
+                "--queries",
+                "50",
+                "--repeats",
+                "1",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "privtree_build" in out
+        assert "speedup" in out
+        results = json.loads(out_file.read_text())
+        assert set(results["cases"]) == {
+            "privtree_build",
+            "workload_queries",
+            "workload_generation",
+        }
+        assert results["cases"]["workload_queries"]["max_abs_deviation"] < 1e-6
+        assert results["config"]["n_points"] == 3000
 
 
 class TestRunCommand:

@@ -62,3 +62,108 @@ class TestSpatialNodeData:
         data = SpatialDataset(pts, Box.unit(4))
         assert SpatialNodeData.root(data).fanout == 16
         assert SpatialNodeData.root(data, dims_per_split=2).fanout == 4
+
+    def test_split_is_memoized(self, uniform_2d):
+        # The single-pass split reorders the shared permutation in place, so
+        # a second call must hand back the same children, not re-partition.
+        root = SpatialNodeData.root(uniform_2d)
+        assert root.split() is root.split()
+
+
+def reference_split(node: SpatialNodeData) -> list[np.ndarray]:
+    """The historical per-child partition: one contains_points mask per child."""
+    dims = node._split_dims()
+    parent_points = node.points
+    return [
+        parent_points[child_box.contains_points(parent_points)]
+        for child_box in node.box.bisect(dims)
+    ]
+
+
+def assert_matches_reference(node: SpatialNodeData) -> list[SpatialNodeData]:
+    expected = reference_split(node)
+    children = node.split()
+    assert len(children) == len(expected)
+    for child, points in zip(children, expected):
+        assert child.score() == len(points)
+        assert np.array_equal(child.points, points)
+    return children
+
+
+class TestSinglePassSplitEquivalence:
+    """The bit-packed child-index pass must reproduce the per-child masks."""
+
+    def test_quadtree_partitions(self, clustered_2d):
+        frontier = [SpatialNodeData.root(clustered_2d)]
+        for _ in range(40):
+            if not frontier:
+                break
+            node = frontier.pop()
+            if not node.can_split():
+                continue
+            frontier.extend(assert_matches_reference(node))
+
+    def test_round_robin_partitions(self, clustered_2d):
+        frontier = [SpatialNodeData.root(clustered_2d, dims_per_split=1)]
+        for _ in range(40):
+            if not frontier:
+                break
+            node = frontier.pop()
+            if not node.can_split():
+                continue
+            frontier.extend(assert_matches_reference(node))
+
+    def test_4d_round_robin_partitions(self):
+        from repro.domains import Box
+
+        pts = np.random.default_rng(3).uniform(0, 1, size=(500, 4)) * 0.999
+        data = SpatialDataset(pts, Box.unit(4))
+        frontier = [SpatialNodeData.root(data, dims_per_split=3)]
+        for _ in range(25):
+            if not frontier:
+                break
+            node = frontier.pop()
+            if not node.can_split():
+                continue
+            frontier.extend(assert_matches_reference(node))
+
+    def test_empty_children(self):
+        from repro.domains import Box
+
+        # All points in one quadrant: three children must come out empty.
+        pts = np.full((50, 2), 0.1)
+        data = SpatialDataset(pts, Box.unit(2))
+        children = assert_matches_reference(SpatialNodeData.root(data))
+        assert [c.score() for c in children] == [50.0, 0.0, 0.0, 0.0]
+        # Splitting an empty child keeps producing (empty) partitions.
+        assert_matches_reference(children[1])
+
+    def test_point_on_midpoint_goes_to_upper_child(self):
+        from repro.domains import Box
+
+        pts = np.array([[0.5, 0.5], [0.25, 0.25]])
+        data = SpatialDataset(pts, Box.unit(2))
+        children = assert_matches_reference(SpatialNodeData.root(data))
+        # Half-open boxes: the midpoint belongs to the upper half.
+        assert [c.score() for c in children] == [1.0, 0.0, 0.0, 1.0]
+
+    def test_split_many_matches_individual_splits(self, clustered_2d):
+        a = SpatialNodeData.root(clustered_2d)
+        b = SpatialNodeData.root(clustered_2d)
+        level_a = a.split()
+        expected = [reference_split(c) for c in level_a]
+        results = SpatialNodeData.split_many(b.split())
+        assert len(results) == len(expected)
+        for child_list, expected_points in zip(results, expected):
+            for child, points in zip(child_list, expected_points):
+                assert np.array_equal(child.points, points)
+
+    def test_split_many_falls_back_on_mixed_stores(self, uniform_2d, clustered_2d):
+        a = SpatialNodeData.root(uniform_2d)
+        b = SpatialNodeData.root(clustered_2d)
+        results = SpatialNodeData.split_many([a, b])
+        assert len(results) == 2
+        assert results[0] is a.split() and results[1] is b.split()
+
+    def test_split_many_empty(self):
+        assert SpatialNodeData.split_many([]) == []
