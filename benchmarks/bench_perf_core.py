@@ -10,13 +10,14 @@ timing table.
 import numpy as np
 
 from repro.baselines import dawa_histogram, private_partition
+from repro.baselines.ngram import count_grams, count_grams_reference
 from repro.datasets import gowallalike, msnbclike
 from repro.domains import Box
 from repro.experiments.perf import (
     reference_privtree_histogram,
     reference_workload_answers,
 )
-from repro.sequence import private_pst
+from repro.sequence import count_substrings, private_pst
 from repro.spatial import generate_workload, privtree_histogram
 
 
@@ -75,9 +76,40 @@ def bench_perf_private_pst_build(benchmark):
 
 
 def bench_perf_pst_sampling(benchmark):
+    # The frozen scalar reference path; the batched case below must come in
+    # at least 5x faster (tracked numerically by `repro bench`).
     data = msnbclike(10_000, rng=0)
     pst = private_pst(data, epsilon=1.0, l_top=20, rng=0)
     benchmark(lambda: pst.sample_dataset(200, rng=1, max_length=20))
+
+
+def bench_perf_pst_sampling_batched_5k(benchmark):
+    data = msnbclike(10_000, rng=0)
+    flat = private_pst(data, epsilon=1.0, l_top=20, rng=0).flat()
+    benchmark(lambda: flat.sample_dataset(5_000, rng=1, max_length=20))
+
+
+def bench_perf_gram_counting_50k(benchmark):
+    store = msnbclike(50_000, rng=0).truncate(20)
+    benchmark(lambda: count_grams(store, n_max=5))
+
+
+def bench_perf_gram_counting_50k_reference(benchmark):
+    # The frozen dict triple loop; the vectorized case above must come in
+    # at least 5x faster (tracked numerically by `repro bench`).
+    store = msnbclike(50_000, rng=0).truncate(20)
+    benchmark(lambda: count_grams_reference(store, n_max=5))
+
+
+def bench_perf_substring_counting_50k(benchmark):
+    data = msnbclike(50_000, rng=0)
+    benchmark(lambda: count_substrings(data, max_length=8))
+
+
+def bench_perf_topk_scoring(benchmark):
+    data = msnbclike(10_000, rng=0)
+    flat = private_pst(data, epsilon=1.0, l_top=20, rng=0).flat()
+    benchmark(lambda: flat.top_k_strings(100, max_length=8))
 
 
 def bench_perf_dawa_partition(benchmark):

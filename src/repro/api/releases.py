@@ -206,7 +206,9 @@ class SequenceRelease(Release):
     """A released private Markov model (the modified-PrivTree PST).
 
     ``query(codes)`` estimates how many input sequences contain the coded
-    string; generation and mining pass through to the underlying model.
+    string; generation and mining run on the compiled
+    :class:`~repro.sequence.flat.FlatPST` engine (cached on the model), the
+    recursive walks remain available on ``release.model``.
     """
 
     kind = "sequence-pst"
@@ -227,20 +229,34 @@ class SequenceRelease(Release):
         return self.model.height
 
     def query(self, codes: Sequence[int]) -> float:
-        """Estimated frequency of the coded string."""
-        return self.model.string_frequency(codes)
+        """Estimated frequency of the coded string (flat engine; numerically
+        identical to ``model.string_frequency``)."""
+        return self.model.flat().string_frequency(codes)
+
+    def query_many(self, queries: Sequence[Sequence[int]]) -> np.ndarray:
+        """Estimated frequencies for a whole batch of coded strings."""
+        return self.model.flat().frequency_many(queries)
 
     def top_k_strings(self, k: int, max_length: int = 12):
-        """The model's ``k`` most frequent strings (mining task, §6.2)."""
-        return self.model.top_k_strings(k, max_length=max_length)
+        """The model's ``k`` most frequent strings (mining task, §6.2).
+
+        Batched frequency scoring; explores and returns exactly what the
+        recursive ``model.top_k_strings`` would.
+        """
+        return self.model.flat().top_k_strings(k, max_length=max_length)
 
     def sample_sequence(self, rng=None, max_length: int | None = None):
         """Draw one synthetic sequence from the model."""
         return self.model.sample_sequence(rng, max_length)
 
     def sample_dataset(self, n: int, rng=None, max_length: int | None = None):
-        """Draw ``n`` synthetic sequences (generation task, §6.2)."""
-        return self.model.sample_dataset(n, rng=rng, max_length=max_length)
+        """Draw ``n`` synthetic sequences (generation task, §6.2).
+
+        Batched lockstep generation — identically distributed to the
+        per-sequence loop, but a seed yields a different (equally valid)
+        sample because the RNG stream interleaves across sequences.
+        """
+        return self.model.flat().sample_dataset(n, rng=rng, max_length=max_length)
 
     def _payload(self) -> dict[str, Any]:
         return pst_to_dict(self.model)
@@ -278,8 +294,19 @@ class NGramRelease(Release):
         return self.model.sample_sequence(rng, max_length)
 
     def sample_dataset(self, n: int, rng=None, max_length: int | None = None):
-        """Draw ``n`` synthetic sequences."""
-        return self.model.sample_dataset(n, rng=rng, max_length=max_length)
+        """Draw ``n`` synthetic sequences.
+
+        Batched lockstep generation on the compiled :class:`~repro.
+        baselines.ngram.FlatNGram` (identically distributed to the scalar
+        loop, different fixed-seed stream interleaving); falls back to the
+        per-sequence loop when the model's contexts cannot be compiled to
+        packed ``int64`` keys.
+        """
+        try:
+            engine = self.model.flat()
+        except OverflowError:
+            return self.model.sample_dataset(n, rng=rng, max_length=max_length)
+        return engine.sample_dataset(n, rng=rng, max_length=max_length)
 
     def _payload(self) -> dict[str, Any]:
         return {

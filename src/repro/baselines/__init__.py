@@ -7,7 +7,13 @@ re-exported here once the sequence substrate is loaded.
 
 from .ag import AdaptiveGrid, ag_histogram
 from .em_topk import em_top_k
-from .ngram import NGramModel, count_grams, ngram_model
+from .ngram import (
+    FlatNGram,
+    NGramModel,
+    count_grams,
+    count_grams_reference,
+    ngram_model,
+)
 from .dawa import DawaHistogram, dawa_histogram, private_partition
 from .grid import UniformGrid
 from .hierarchy import HierarchyHistogram, hierarchy_histogram, split_branchings
@@ -25,12 +31,14 @@ from .ug import ug_cells_per_dim, ug_histogram
 __all__ = [
     "AdaptiveGrid",
     "DawaHistogram",
+    "FlatNGram",
     "HierarchyHistogram",
     "NGramModel",
     "PriveletHistogram",
     "UniformGrid",
     "ag_histogram",
     "count_grams",
+    "count_grams_reference",
     "dawa_histogram",
     "em_top_k",
     "haar_forward",

@@ -108,9 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
     bench.add_argument("--seed", type=int, default=0, help="rng seed")
     bench.add_argument(
+        "--sequences",
+        type=int,
+        default=200_000,
+        help="sequence-corpus cardinality (MSNBC-scale default: ~1M tokens)",
+    )
+    bench.add_argument(
+        "--synthetic",
+        type=int,
+        default=20_000,
+        help="synthetic sequences per generation case",
+    )
+    bench.add_argument(
         "--out",
         default="BENCH_perf.json",
         help="machine-readable results path (default: BENCH_perf.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="print a regression table vs. a committed BENCH_perf.json "
+        "(warns when a case slows down >20%%; never fails the run)",
     )
 
     sub.add_parser("svt", help="SVT privacy-loss counterexamples")
@@ -196,7 +215,19 @@ def _run_methods() -> str:
 
 
 def _run_bench(args: argparse.Namespace) -> str:
-    from .experiments import run_perf_bench, write_bench_json
+    from .experiments import compare_bench_results, run_perf_bench, write_bench_json
+
+    baseline = None
+    if args.compare:
+        # Load the baseline up front so a bad path fails before the
+        # multi-minute benchmark run, not after it.
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"cannot read --compare baseline {args.compare!r}: {exc}"
+            ) from None
 
     results = run_perf_bench(
         n_points=args.n,
@@ -205,10 +236,12 @@ def _run_bench(args: argparse.Namespace) -> str:
         epsilon=args.epsilon,
         repeats=args.repeats,
         rng=args.seed,
+        n_sequences=args.sequences,
+        n_synthetic=args.synthetic,
     )
     lines = [
         f"perf bench (n={args.n:,}, {args.queries:,} {args.band} queries, "
-        f"best of {args.repeats})",
+        f"{args.sequences:,} sequences, best of {args.repeats})",
     ]
     for name, case in results["cases"].items():
         line = f"  {name:20s} {case['optimized_s']*1e3:9.1f} ms"
@@ -221,6 +254,10 @@ def _run_bench(args: argparse.Namespace) -> str:
     if args.out:
         write_bench_json(results, args.out)
         lines.append(f"results written to {args.out}")
+    if baseline is not None:
+        table, _ = compare_bench_results(results, baseline)
+        lines.append(f"comparison vs {args.compare}:")
+        lines.append(table)
     return "\n".join(lines)
 
 

@@ -20,7 +20,12 @@ from .spatial_error import (
     run_ug_gridsize_ablation,
     spatial_method_registry,
 )
-from .perf import run_perf_bench, write_bench_json
+from .perf import (
+    compare_bench_results,
+    run_perf_bench,
+    run_sequence_perf_bench,
+    write_bench_json,
+)
 from .timing import run_privtree_timing
 
 __all__ = [
@@ -29,6 +34,7 @@ __all__ = [
     "format_float",
     "format_percent",
     "format_seconds",
+    "compare_bench_results",
     "run_ag_gridsize_ablation",
     "run_fanout_ablation",
     "run_hierarchy_height_ablation",
@@ -36,6 +42,7 @@ __all__ = [
     "run_ngram_height_ablation",
     "run_perf_bench",
     "run_privtree_timing",
+    "run_sequence_perf_bench",
     "write_bench_json",
     "run_range_query_experiment",
     "run_topk_experiment",

@@ -1,16 +1,20 @@
-"""Performance micro-benchmarks of the spatial hot paths (``repro bench``).
+"""Performance micro-benchmarks of the hot paths (``repro bench``).
 
 Measures the current array-backed engines against frozen *reference*
-implementations that replicate the pre-optimization code paths (per-child
-``contains_points`` scans with copied point arrays, one scalar Laplace draw
-per node, recursive per-query range counting).  Both paths consume the RNG
-stream identically, so the reference build produces the **same** synopsis —
-the comparison isolates engine cost, and the harness verifies agreement
-while it measures.
+implementations that replicate the pre-optimization code paths — spatial:
+per-child ``contains_points`` scans with copied point arrays, one scalar
+Laplace draw per node, recursive per-query range counting; sequence: the
+dict/tuple triple loops over (sequence, position, length) windows, scalar
+per-symbol sampling, and per-candidate recursive frequency walks.  Where
+both paths consume the RNG stream identically the reference produces the
+**same** artifact and the harness asserts it; where only the distribution
+is preserved (batched generation) the harness checks distributional
+agreement instead.
 
 Results are returned as a plain dict (and written as ``BENCH_perf.json`` by
 the CLI) so CI can archive the numbers and the perf trajectory is
-machine-readable.
+machine-readable; :func:`compare_bench_results` renders the regression
+table behind ``repro bench --compare``.
 """
 
 from __future__ import annotations
@@ -22,20 +26,32 @@ from typing import Callable
 
 import numpy as np
 
+from ..baselines.ngram import count_grams, count_grams_reference
 from ..core.node import DecompositionTree, TreeNode
 from ..core.params import PrivTreeParams
+from ..datasets.sequence import msnbclike
 from ..datasets.spatial import gowallalike
 from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import ensure_rng
+from ..sequence.metrics import length_distribution, total_variation_distance
+from ..sequence.private_pst import private_pst
+from ..sequence.tasks import (
+    count_substrings,
+    count_substrings_reference,
+    rank_substring_counts,
+    top_k_substrings,
+)
 from ..spatial.dataset import SpatialDataset
 from ..spatial.histogram_tree import HistogramNode, HistogramTree
 from ..spatial.quadtree import _privtree_histogram
 from ..spatial.queries import generate_workload
 
 __all__ = [
+    "compare_bench_results",
     "reference_privtree_histogram",
     "reference_workload_answers",
     "run_perf_bench",
+    "run_sequence_perf_bench",
     "write_bench_json",
 ]
 
@@ -147,6 +163,8 @@ def reference_workload_answers(tree: HistogramTree, queries) -> np.ndarray:
     return np.array([tree.range_count(q) for q in queries])
 
 
+
+
 # ----------------------------------------------------------------------
 # The benchmark harness
 # ----------------------------------------------------------------------
@@ -163,6 +181,160 @@ def _best_of(repeats: int, fn: Callable[[], object]) -> tuple[float, object]:
     return best, result
 
 
+def run_sequence_perf_bench(
+    n_sequences: int = 200_000,
+    n_synthetic: int = 20_000,
+    epsilon: float = 1.0,
+    repeats: int = 3,
+    rng: int = 0,
+    l_top: int = 20,
+    n_max: int = 5,
+    topk_max_length: int = 8,
+    n_candidates: int = 2_000,
+) -> dict:
+    """Time the optimized vs. reference sequence hot paths.
+
+    The corpus is the MSNBC-scale synthetic substitute (alphabet 17, about
+    ``4.75 * n_sequences`` tokens).  Gram/substring counts from the
+    vectorized paths must equal the dict references *exactly*; frequency
+    scoring must match the recursive PST bit-for-bit; batched generation is
+    checked distributionally (length-distribution TVD against the scalar
+    reference sample).  Returns ``{"config": ..., "cases": ...}``.
+    """
+    data = msnbclike(n_sequences, rng=rng)
+    store = data.truncate(l_top)
+
+    gram_s, grams = _best_of(repeats, lambda: count_grams(store, n_max))
+    gram_ref_s, grams_ref = _best_of(
+        repeats, lambda: count_grams_reference(store, n_max)
+    )
+    if grams != grams_ref:
+        raise AssertionError("vectorized gram counts deviate from the dict reference")
+
+    # The §6.2 substring workload: count every window, rank by
+    # (-count, codes), keep the top candidates.  The optimized path stays
+    # array-native end to end; the reference is the dict triple loop plus
+    # the Python sort the experiments historically ran.
+    sub_s, ranked = _best_of(
+        repeats,
+        lambda: top_k_substrings(data, n_candidates, topk_max_length),
+    )
+
+    def _reference_substring_topk():
+        # The pre-optimization path the §6.2 ground truth used to take:
+        # dict triple loop + Python sort of the whole table.  Returns the
+        # counted table too, so the table-equality check below reuses it
+        # instead of paying another multi-second reference pass.
+        counts = count_substrings_reference(data, topk_max_length)
+        return rank_substring_counts(counts, n_candidates), counts
+
+    sub_ref_s, (subs_ref, table_ref) = _best_of(repeats, _reference_substring_topk)
+    if ranked != subs_ref:
+        raise AssertionError(
+            "vectorized substring ranking deviates from the dict reference"
+        )
+
+    table_s, subs = _best_of(
+        repeats, lambda: count_substrings(data, topk_max_length)
+    )
+    if subs != table_ref:
+        raise AssertionError(
+            "vectorized substring counts deviate from the dict reference"
+        )
+
+    build_s, pst = _best_of(
+        repeats, lambda: private_pst(data, epsilon=epsilon, l_top=l_top, rng=rng)
+    )
+    flat = pst.flat()  # compile outside the timed regions, like callers do
+
+    candidates = [codes for codes, _ in ranked]
+    score_s, batched_scores = _best_of(
+        repeats, lambda: flat.frequency_many(candidates)
+    )
+    score_ref_s, recursive_scores = _best_of(
+        repeats,
+        lambda: np.array([pst.string_frequency(c) for c in candidates]),
+    )
+    scale = max(1.0, float(np.abs(recursive_scores).max()))
+    score_deviation = float(np.abs(batched_scores - recursive_scores).max())
+    if score_deviation > 1e-9 * scale:
+        raise AssertionError(
+            f"flat engine deviates from the recursive PST by {score_deviation}"
+        )
+
+    generate_s, synthetic = _best_of(
+        repeats,
+        lambda: flat.sample_dataset(n_synthetic, rng=rng + 1, max_length=l_top),
+    )
+    generate_ref_s, reference_sample = _best_of(
+        repeats,
+        lambda: pst.sample_dataset(n_synthetic, rng=rng + 1, max_length=l_top),
+    )
+    support = l_top + 1
+    generation_tvd = total_variation_distance(
+        length_distribution([len(s) for s in synthetic], max_length=support),
+        length_distribution([len(s) for s in reference_sample], max_length=support),
+    )
+    # Two independent n-sample empirical distributions over ~support bins
+    # differ by ~sqrt(support / n) in TVD even when the laws agree; flag
+    # only clear drift beyond that noise floor.
+    tvd_limit = max(0.05, 2.0 * (support / n_synthetic) ** 0.5)
+    if generation_tvd > tvd_limit:
+        raise AssertionError(
+            f"batched generation drifted from the reference "
+            f"(TVD {generation_tvd} > {tvd_limit})"
+        )
+
+    return {
+        "config": {
+            "n_sequences": n_sequences,
+            "n_tokens": int(store.flat.shape[0] - store.n),  # without $
+            "n_synthetic": n_synthetic,
+            "epsilon": epsilon,
+            "repeats": repeats,
+            "rng": rng,
+            "l_top": l_top,
+            "n_max": n_max,
+            "topk_max_length": topk_max_length,
+            "n_candidates": len(candidates),
+            "pst_nodes": pst.size,
+            "pst_height": pst.height,
+        },
+        "cases": {
+            "gram_counting": {
+                "optimized_s": gram_s,
+                "reference_s": gram_ref_s,
+                "speedup": gram_ref_s / gram_s,
+            },
+            "substring_counting": {
+                "workload": "count + rank top candidates (exact_top_k)",
+                "optimized_s": sub_s,
+                "reference_s": sub_ref_s,
+                "speedup": sub_ref_s / sub_s,
+            },
+            "substring_count_table": {
+                "workload": "full tuple-keyed Counter (dict materialization)",
+                "optimized_s": table_s,
+            },
+            "pst_build_release": {
+                "optimized_s": build_s,
+            },
+            "topk_scoring": {
+                "optimized_s": score_s,
+                "reference_s": score_ref_s,
+                "speedup": score_ref_s / score_s,
+                "max_abs_deviation": score_deviation,
+            },
+            "pst_generation": {
+                "optimized_s": generate_s,
+                "reference_s": generate_ref_s,
+                "speedup": generate_ref_s / generate_s,
+                "length_tvd_vs_reference": generation_tvd,
+            },
+        },
+    }
+
+
 def run_perf_bench(
     n_points: int = 200_000,
     n_queries: int = 1_000,
@@ -170,8 +342,10 @@ def run_perf_bench(
     epsilon: float = 1.0,
     repeats: int = 3,
     rng: int = 0,
+    n_sequences: int = 200_000,
+    n_synthetic: int = 20_000,
 ) -> dict:
-    """Time the optimized vs. reference spatial hot paths.
+    """Time the optimized vs. reference spatial *and* sequence hot paths.
 
     Returns a JSON-ready dict: per-case best-of-``repeats`` wall times, the
     speedup ratios, and the max |flat - recursive| query deviation (the
@@ -209,6 +383,14 @@ def run_perf_bench(
         repeats, lambda: generate_workload(data.domain, band, n_queries, rng=rng + 1)
     )
 
+    sequence = run_sequence_perf_bench(
+        n_sequences=n_sequences,
+        n_synthetic=n_synthetic,
+        epsilon=epsilon,
+        repeats=repeats,
+        rng=rng,
+    )
+
     return {
         "config": {
             "n_points": n_points,
@@ -219,6 +401,7 @@ def run_perf_bench(
             "rng": rng,
             "tree_nodes": synopsis.size,
             "tree_leaves": synopsis.leaf_count,
+            "sequence": sequence["config"],
         },
         "machine": {
             "python": platform.python_version(),
@@ -240,8 +423,54 @@ def run_perf_bench(
             "workload_generation": {
                 "optimized_s": workload_s,
             },
+            **sequence["cases"],
         },
     }
+
+
+#: A case regressing past this factor of its baseline is flagged by
+#: ``repro bench --compare``.
+REGRESSION_THRESHOLD = 1.2
+
+
+def compare_bench_results(results: dict, baseline: dict) -> tuple[str, int]:
+    """Render the regression table of ``results`` vs. a committed baseline.
+
+    Returns ``(table, n_regressions)`` where a regression is any case whose
+    ``optimized_s`` exceeds the baseline's by more than
+    :data:`REGRESSION_THRESHOLD`.  Cases absent from either side are listed
+    but never counted (new cases appear as the perf surface grows).
+    """
+    lines = [
+        f"{'case':22s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}",
+    ]
+    base_cases = baseline.get("cases", {})
+    n_regressions = 0
+    for name, case in sorted(results.get("cases", {}).items()):
+        current = case.get("optimized_s")
+        base = base_cases.get(name, {}).get("optimized_s")
+        if current is None or base is None or base <= 0:
+            shown = "-" if current is None else f"{current * 1e3:9.1f}ms"
+            lines.append(f"{name:22s} {'-':>10s} {shown}  (new case)")
+            continue
+        ratio = current / base
+        flag = ""
+        if ratio > REGRESSION_THRESHOLD:
+            flag = f"  WARNING: >{(REGRESSION_THRESHOLD - 1) * 100:.0f}% regression"
+            n_regressions += 1
+        lines.append(
+            f"{name:22s} {base * 1e3:9.1f}ms {current * 1e3:9.1f}ms {ratio:6.2f}x{flag}"
+        )
+    for name in sorted(set(base_cases) - set(results.get("cases", {}))):
+        lines.append(f"{name:22s}  (missing from current run)")
+    if n_regressions:
+        lines.append(
+            f"{n_regressions} case(s) regressed more than "
+            f"{(REGRESSION_THRESHOLD - 1) * 100:.0f}% vs the baseline"
+        )
+    else:
+        lines.append("no case regressed vs the baseline")
+    return "\n".join(lines), n_regressions
 
 
 def write_bench_json(results: dict, path: str) -> None:

@@ -2,17 +2,24 @@
 
 from .alphabet import Alphabet, END_SYMBOL, START_SYMBOL
 from .dataset import SequenceDataset, TokenStore
+from .flat import FlatPST, flatten_pst
 from .markov import MarkovModel
 from .metrics import length_distribution, top_k_precision, total_variation_distance
 from .payload import PSTNodeData, equation_13_score
 from .private_pst import exact_pst, private_pst
 from .pst import PredictionSuffixTree, PSTNode
 from .serialize import load_pst, pst_from_dict, pst_to_dict, save_pst
-from .tasks import count_substrings, exact_top_k
+from .tasks import (
+    count_substrings,
+    count_substrings_reference,
+    exact_top_k,
+    top_k_substrings,
+)
 
 __all__ = [
     "Alphabet",
     "END_SYMBOL",
+    "FlatPST",
     "MarkovModel",
     "PSTNode",
     "PSTNodeData",
@@ -21,9 +28,11 @@ __all__ = [
     "SequenceDataset",
     "TokenStore",
     "count_substrings",
+    "count_substrings_reference",
     "equation_13_score",
     "exact_pst",
     "exact_top_k",
+    "flatten_pst",
     "length_distribution",
     "load_pst",
     "private_pst",
@@ -31,5 +40,6 @@ __all__ = [
     "pst_to_dict",
     "save_pst",
     "top_k_precision",
+    "top_k_substrings",
     "total_variation_distance",
 ]

@@ -1,0 +1,359 @@
+"""Flat, array-backed view of a released prediction suffix tree.
+
+A :class:`FlatPST` compiles a :class:`~repro.sequence.pst.
+PredictionSuffixTree` into structure-of-arrays form: stacked prediction
+histograms, per-node totals and cumulative-probability rows, and the
+topology as a dense child table indexed by prepended symbol code.  The
+hot sequence operations then run as batched NumPy passes instead of
+per-node dict walks:
+
+* :meth:`lookup_many` — longest-suffix context resolution for a whole
+  batch, one vectorized step per tree level;
+* :meth:`frequency_many` — Equation (12) string-frequency estimates for a
+  whole query batch, numerically identical to the recursive
+  ``string_frequency`` (same operations in the same order);
+* :meth:`sample_dataset` — batched synthetic generation: every active
+  sequence advances one symbol per iteration from a single sized uniform
+  draw (per-row inverse CDF), instead of one Python ``lookup`` + scalar
+  draw per symbol per sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..mechanisms.rng import RngLike, ensure_rng
+from .alphabet import Alphabet
+from .pst import PredictionSuffixTree, PSTNode
+
+__all__ = ["FlatPST", "assemble_batches", "flatten_pst", "sample_lockstep"]
+
+
+def assemble_batches(
+    n: int, row_chunks: list[np.ndarray], code_chunks: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Stitch per-step (row, symbol) batches into per-sequence arrays.
+
+    Each step of a batched generator emits the rows still active and the
+    symbol each drew; a stable sort by row id recovers every sequence in
+    generation order.
+    """
+    if not row_chunks:
+        return [np.empty(0, dtype=np.int64) for _ in range(n)]
+    rows = np.concatenate(row_chunks)
+    symbols = np.concatenate(code_chunks)
+    order = np.argsort(rows, kind="stable")
+    symbols = symbols[order]
+    per_row = np.bincount(rows, minlength=n)
+    return [piece.copy() for piece in np.split(symbols, np.cumsum(per_row)[:-1])]
+
+
+def sample_lockstep(
+    n: int,
+    max_length: int,
+    gen: np.random.Generator,
+    windows: np.ndarray,
+    end_code: int,
+    hist_size: int,
+    step,
+) -> list[np.ndarray]:
+    """The lockstep generation driver shared by the flat sequence engines.
+
+    Every iteration advances all still-active sequences one symbol:
+    ``step(active_windows)`` resolves each row's context to its cumulative
+    conditional-probability row and a liveness mask (rows whose
+    distribution has no mass stop generating), one sized uniform draw picks
+    all next symbols via per-row inverse CDF, ``end_code`` retires a
+    sequence, and the rolling context ``windows`` shift left by one.
+    ``windows`` is mutated in place; the caller pre-fills its initial
+    context.
+    """
+    active = np.arange(n, dtype=np.intp)
+    row_chunks: list[np.ndarray] = []
+    code_chunks: list[np.ndarray] = []
+    for _ in range(max_length):
+        if active.size == 0:
+            break
+        cum, live = step(windows[active])
+        active = active[live]
+        if active.size == 0:
+            break
+        cum = cum[live]
+        u = gen.random(size=active.size)
+        codes = np.minimum((cum <= u[:, None]).sum(axis=1), hist_size - 1)
+        keep = codes != end_code
+        active = active[keep]
+        codes = codes[keep].astype(np.int64)
+        if active.size:
+            row_chunks.append(active.copy())
+            code_chunks.append(codes)
+            windows[active, :-1] = windows[active, 1:]
+            windows[active, -1] = codes
+    return assemble_batches(n, row_chunks, code_chunks)
+
+
+@dataclass(frozen=True)
+class FlatPST:
+    """A released PST compiled to structure-of-arrays (pre-order layout).
+
+    Attributes
+    ----------
+    hists:
+        ``(m, hist_size)`` prediction histograms, nodes in pre-order
+        (children visited in prepended-code order).
+    totals:
+        ``(m,)`` histogram magnitudes (``hists.sum(axis=1)``).
+    cum_probs:
+        ``(m, hist_size)`` cumulative conditional probabilities
+        (``cumsum(hist / total)``; zero rows where ``total <= 0``).
+    parents, depths, edge_symbols:
+        ``(m,)`` topology: pre-order parent index (``-1`` for the root),
+        context length, and the symbol the node prepends to its parent's
+        context (``-1`` for the root).
+    child_table:
+        ``(m, |I| + 2)`` dense child index by prepended code (columns cover
+        ``I ∪ {&, $}``; ``-1`` marks a missing child).
+    """
+
+    alphabet: Alphabet
+    hists: np.ndarray
+    totals: np.ndarray
+    cum_probs: np.ndarray
+    parents: np.ndarray
+    depths: np.ndarray
+    edge_symbols: np.ndarray
+    child_table: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes."""
+        return int(self.hists.shape[0])
+
+    @property
+    def height(self) -> int:
+        """Longest context length."""
+        return int(self.depths.max())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_pst(pst: PredictionSuffixTree) -> "FlatPST":
+        """Compile a released :class:`PredictionSuffixTree`."""
+        alphabet = pst.alphabet
+        nodes: list[PSTNode] = []
+        parents: list[int] = []
+        edges: list[int] = []
+        stack: list[tuple[PSTNode, int, int]] = [(pst.root, -1, -1)]
+        while stack:
+            node, parent, edge = stack.pop()
+            index = len(nodes)
+            nodes.append(node)
+            parents.append(parent)
+            edges.append(edge)
+            for code, child in sorted(node.children.items(), reverse=True):
+                stack.append((child, index, int(code)))
+        m = len(nodes)
+        hist_size = alphabet.hist_size
+        hists = np.empty((m, hist_size))
+        for i, node in enumerate(nodes):
+            hists[i] = node.hist
+        parents_arr = np.asarray(parents, dtype=np.intp)
+        edges_arr = np.asarray(edges, dtype=np.int64)
+        depths = np.zeros(m, dtype=np.int64)
+        for i in range(1, m):
+            depths[i] = depths[parents_arr[i]] + 1
+        child_table = np.full((m, alphabet.start_code + 1), -1, dtype=np.intp)
+        for i in range(1, m):
+            child_table[parents_arr[i], edges_arr[i]] = i
+        totals = hists.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1.0)
+        cum_probs = np.cumsum(hists / safe[:, None], axis=1)
+        cum_probs[totals <= 0] = 0.0
+        return FlatPST(
+            alphabet=alphabet,
+            hists=hists,
+            totals=totals,
+            cum_probs=cum_probs,
+            parents=parents_arr,
+            depths=depths,
+            edge_symbols=edges_arr,
+            child_table=child_table,
+        )
+
+    def node_context(self, index: int) -> tuple[int, ...]:
+        """The predictor string of node ``index`` (root: ``()``)."""
+        context: list[int] = []
+        while index > 0:
+            context.append(int(self.edge_symbols[index]))
+            index = int(self.parents[index])
+        return tuple(context)
+
+    # ------------------------------------------------------------------
+    # Lookup and frequency estimation
+    # ------------------------------------------------------------------
+
+    def _lookup_rows(self, contexts: np.ndarray) -> np.ndarray:
+        """Vectorized longest-suffix lookup.
+
+        ``contexts`` is ``(B, W)`` right-aligned (last symbol in the last
+        column) with ``-1`` padding on the left; any out-of-range code ends
+        that row's walk, like a missing child in the recursive lookup.
+        """
+        n_rows, width = contexts.shape
+        cur = np.zeros(n_rows, dtype=np.intp)
+        alive = np.ones(n_rows, dtype=bool)
+        n_codes = self.child_table.shape[1]
+        for step in range(min(width, self.height)):
+            if not alive.any():
+                break
+            symbols = contexts[:, width - 1 - step]
+            bad = alive & ((symbols < 0) | (symbols >= n_codes))
+            alive[bad] = False
+            rows = np.nonzero(alive)[0]
+            if rows.size == 0:
+                break
+            child = self.child_table[cur[rows], symbols[rows]]
+            found = child >= 0
+            cur[rows[found]] = child[found]
+            alive[rows[~found]] = False
+        return cur
+
+    def lookup(self, context: Sequence[int]) -> int:
+        """Index of the node whose context is the longest suffix of
+        ``context`` (the flat counterpart of ``PredictionSuffixTree.lookup``)."""
+        return int(self.lookup_many([context])[0])
+
+    def lookup_many(self, contexts: Sequence[Sequence[int]]) -> np.ndarray:
+        """Batched lookup: one node index per context."""
+        arrays = [np.asarray(c, dtype=np.int64).ravel() for c in contexts]
+        if not arrays:
+            return np.empty(0, dtype=np.intp)
+        width = max((a.shape[0] for a in arrays), default=0)
+        if width == 0:
+            return np.zeros(len(arrays), dtype=np.intp)
+        padded = np.full((len(arrays), width), -1, dtype=np.int64)
+        for i, a in enumerate(arrays):
+            if a.shape[0]:
+                padded[i, width - a.shape[0] :] = a
+        return self._lookup_rows(padded)
+
+    def string_frequency(self, codes: Sequence[int]) -> float:
+        """Equation (12) estimate for one string (flat engine)."""
+        return float(self.frequency_many([codes])[0])
+
+    def frequency_many(self, queries: Sequence[Sequence[int]]) -> np.ndarray:
+        """Equation (12) estimates for a whole batch of strings.
+
+        Performs the same floating-point operations in the same order as
+        the recursive ``string_frequency``, so answers agree exactly.
+        """
+        arrays = [np.asarray(q, dtype=np.int64).ravel() for q in queries]
+        if not arrays:
+            return np.empty(0)
+        size = self.alphabet.size
+        for a in arrays:
+            if a.shape[0] == 0:
+                raise ValueError("query string must be non-empty")
+            if a.min() < 0 or a.max() >= size:
+                raise ValueError("query string must contain ordinary symbols only")
+        n_rows = len(arrays)
+        lengths = np.asarray([a.shape[0] for a in arrays], dtype=np.int64)
+        width = int(lengths.max())
+        padded = np.full((n_rows, width), -1, dtype=np.int64)
+        for i, a in enumerate(arrays):
+            padded[i, : a.shape[0]] = a
+        answers = self.hists[0][padded[:, 0]]
+        for i in range(1, width):
+            active = np.nonzero(lengths > i)[0]
+            if active.size == 0:
+                break
+            nodes = self._lookup_rows(padded[active, :i])
+            totals = self.totals[nodes]
+            live = (answers[active] > 0) & (totals > 0)
+            stepped = np.zeros(active.shape[0])
+            rows = active[live]
+            stepped[live] = answers[rows] * (
+                self.hists[nodes[live], padded[rows, i]] / totals[live]
+            )
+            answers[active] = stepped
+        return np.maximum(answers, 0.0)
+
+    # ------------------------------------------------------------------
+    # Batched generation and mining
+    # ------------------------------------------------------------------
+
+    def sample_dataset(
+        self, n: int, rng: RngLike = None, max_length: int | None = None
+    ) -> list[np.ndarray]:
+        """Generate ``n`` synthetic sequences in lockstep.
+
+        Identically distributed to ``PredictionSuffixTree.sample_dataset``
+        (same per-step conditional laws, independent uniforms), but the RNG
+        stream interleaves across sequences per *step* instead of per
+        sequence, so fixed-seed outputs differ from the scalar reference.
+        """
+        gen = ensure_rng(rng)
+        if max_length is None:
+            max_length = 10_000
+        windows = np.full((n, max(self.height, 1)), -1, dtype=np.int64)
+        windows[:, -1] = self.alphabet.start_code
+
+        def step(active_windows: np.ndarray):
+            nodes = self._lookup_rows(active_windows)
+            return self.cum_probs[nodes], self.totals[nodes] > 0
+
+        return sample_lockstep(
+            n,
+            max_length,
+            gen,
+            windows,
+            end_code=self.alphabet.end_code,
+            hist_size=self.alphabet.hist_size,
+            step=step,
+        )
+
+    def top_k_strings(
+        self, k: int, max_length: int = 12
+    ) -> list[tuple[tuple[int, ...], float]]:
+        """Best-first top-k mining with batched frequency scoring.
+
+        Explores exactly the candidates of the recursive
+        ``PredictionSuffixTree.top_k_strings`` (same heap discipline, same
+        tie-breaking) but scores each popped prefix's β extensions in one
+        :meth:`frequency_many` call.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k!r}")
+        size = self.alphabet.size
+        counter = 0
+        singles = self.frequency_many([(code,) for code in range(size)])
+        heap: list[tuple[float, int, tuple[int, ...]]] = []
+        for code in range(size):
+            heap.append((-float(singles[code]), counter, (code,)))
+            counter += 1
+        heapq.heapify(heap)
+        results: list[tuple[tuple[int, ...], float]] = []
+        while heap and len(results) < k:
+            neg_est, _, codes = heapq.heappop(heap)
+            est = -neg_est
+            results.append((codes, est))
+            if len(codes) < max_length and est > 0:
+                extensions = [codes + (code,) for code in range(size)]
+                estimates = self.frequency_many(extensions)
+                for code in range(size):
+                    ext_est = float(estimates[code])
+                    if ext_est > 0:
+                        heapq.heappush(heap, (-ext_est, counter, extensions[code]))
+                        counter += 1
+        return results
+
+
+def flatten_pst(pst: PredictionSuffixTree) -> FlatPST:
+    """Alias of :meth:`FlatPST.from_pst`."""
+    return FlatPST.from_pst(pst)

@@ -53,20 +53,51 @@ class PSTNode:
 
 @dataclass
 class PredictionSuffixTree:
-    """A PST supporting string-frequency estimation and sequence sampling."""
+    """A PST supporting string-frequency estimation and sequence sampling.
+
+    Structural statistics (``size``, ``height``) and the array-backed query
+    engine (:meth:`flat`) are computed lazily on first access and cached:
+    released trees are never mutated after construction, and experiments
+    read these per trial.
+    """
 
     alphabet: Alphabet
     root: PSTNode
+    _stats: tuple[int, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _flat: "FlatPST | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _compute_stats(self) -> tuple[int, int]:
+        """(size, height) in one iterative traversal."""
+        if self._stats is None:
+            size = height = 0
+            for node in self.root.iter_nodes():
+                size += 1
+                if len(node.context) > height:
+                    height = len(node.context)
+            self._stats = (size, height)
+        return self._stats
 
     @property
     def size(self) -> int:
         """Total number of nodes."""
-        return sum(1 for _ in self.root.iter_nodes())
+        return self._compute_stats()[0]
 
     @property
     def height(self) -> int:
         """Longest context length."""
-        return max(len(n.context) for n in self.root.iter_nodes())
+        return self._compute_stats()[1]
+
+    def flat(self) -> "FlatPST":
+        """The compiled array-backed engine (built once, then cached)."""
+        if self._flat is None:
+            from .flat import FlatPST
+
+            self._flat = FlatPST.from_pst(self)
+        return self._flat
 
     def lookup(self, context: Sequence[int]) -> PSTNode:
         """The node whose predictor string is the longest suffix of ``context``.

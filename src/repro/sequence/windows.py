@@ -1,0 +1,83 @@
+"""Packed-key window counting over flat token arrays.
+
+The sequence tasks repeatedly need occurrence counts of every window of
+length ``<= n_max`` of a flattened corpus (substring mining, gram tables).
+Instead of a Python triple loop over (sequence, position, length), every
+window is encoded as a packed base-``base`` integer key — symbol codes are
+the digits, most-significant first — and counted with one ``np.unique``
+sort per window length.  Keys of the same length are collision-free as long
+as every code is ``< base``, so the counts are *exactly* those of the dict
+reference implementations.
+
+``int64`` keys cap the packable window length at
+``floor(63 / log2(base))``; callers fall back to their loop reference in
+the (unrealistic) regime beyond it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["max_packable_length", "packed_window_counts"]
+
+
+def max_packable_length(base: int) -> int:
+    """Longest window length whose packed key fits an ``int64``."""
+    if base < 2:
+        # A 1-symbol alphabet packs to key 0 at every length; length is
+        # tracked separately, so any n_max is representable.
+        return np.iinfo(np.int64).bits - 1
+    length = 0
+    key_max = 1
+    limit = np.iinfo(np.int64).max
+    while key_max <= limit // base:
+        key_max *= base
+        length += 1
+    return length
+
+
+def packed_window_counts(
+    flat: np.ndarray,
+    positions: np.ndarray,
+    limits: np.ndarray,
+    n_max: int,
+    base: int,
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Unique windows of ``flat`` starting at ``positions``, by length.
+
+    ``positions`` are candidate window starts (indices into ``flat``) and
+    ``limits[i]`` is the exclusive end offset window ``i`` may not cross
+    (its sequence boundary).  Yields ``(length, codes, counts)`` for every
+    length ``1 .. n_max`` with any valid window, where ``codes`` is the
+    ``(k, length)`` matrix of distinct windows (lexicographically sorted)
+    and ``counts`` their occurrence counts.
+
+    All codes gathered from ``flat`` must be ``< base`` for keys to be
+    collision-free; callers choose ``base`` accordingly.
+    """
+    if n_max < 1:
+        raise ValueError(f"n_max must be >= 1, got {n_max!r}")
+    if n_max > max_packable_length(base):
+        raise OverflowError(
+            f"windows of length {n_max} over base {base} overflow int64 keys"
+        )
+    positions = np.asarray(positions, dtype=np.int64)
+    limits = np.asarray(limits, dtype=np.int64)
+    keys = np.zeros(positions.shape[0], dtype=np.int64)
+    for length in range(1, n_max + 1):
+        keep = positions + length <= limits
+        if not keep.all():
+            positions = positions[keep]
+            limits = limits[keep]
+            keys = keys[keep]
+        if positions.size == 0:
+            return
+        keys = keys * base + flat[positions + length - 1]
+        unique, counts = np.unique(keys, return_counts=True)
+        codes = np.empty((unique.shape[0], length), dtype=np.int64)
+        remainder = unique
+        for digit in range(length - 1, -1, -1):
+            remainder, codes[:, digit] = np.divmod(remainder, base)
+        yield length, codes, counts

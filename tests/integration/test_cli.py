@@ -115,6 +115,10 @@ class TestCommands:
                 "3000",
                 "--queries",
                 "50",
+                "--sequences",
+                "1500",
+                "--synthetic",
+                "500",
                 "--repeats",
                 "1",
                 "--out",
@@ -130,9 +134,43 @@ class TestCommands:
             "privtree_build",
             "workload_queries",
             "workload_generation",
+            "gram_counting",
+            "substring_counting",
+            "substring_count_table",
+            "pst_build_release",
+            "topk_scoring",
+            "pst_generation",
         }
         assert results["cases"]["workload_queries"]["max_abs_deviation"] < 1e-6
+        assert results["cases"]["topk_scoring"]["max_abs_deviation"] < 1e-9
         assert results["config"]["n_points"] == 3000
+        assert results["config"]["sequence"]["n_sequences"] == 1500
+
+        # --compare against the file just written: no case can regress vs
+        # itself beyond noise, and the table must render.
+        code = main(
+            [
+                "bench",
+                "--n",
+                "3000",
+                "--queries",
+                "50",
+                "--sequences",
+                "1500",
+                "--synthetic",
+                "500",
+                "--repeats",
+                "1",
+                "--out",
+                str(tmp_path / "BENCH_new.json"),
+                "--compare",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"comparison vs {out_file}" in out
+        assert "baseline" in out and "current" in out
 
 
 class TestRunCommand:
