@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving path: HTTP answers == in-process answers.
+
+Usage::
+
+    repro store put --store STORE_DIR --method privtree --dataset gowalla ...
+    python scripts/serve_smoke.py STORE_DIR [N_QUERIES]
+
+Starts ``repro serve`` as a subprocess on a free port, fires one batched
+range-count query (default 1000 boxes) at the first stored release, and
+exits non-zero unless every answer returned over HTTP is bit-identical to
+calling ``release.query_many`` on a local reload of the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    store_dir = argv[1]
+    n_queries = int(argv[2]) if len(argv) > 2 else 1000
+
+    import numpy as np
+
+    from repro.serve import ReleaseStore
+    from repro.spatial import generate_workload
+
+    try:
+        store = ReleaseStore(store_dir, create=False)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 2
+    ids = store.ids()
+    if not ids:
+        print(f"store {store_dir} is empty; run `repro store put` first")
+        return 2
+    release_id = ids[0]
+    release = store.get(release_id)
+    boxes = generate_workload(release.tree.root.box, "medium", n_queries, rng=0)
+    expected = release.query_many(boxes)
+
+    port = _free_port()
+    server = subprocess.Popen(
+        ["repro", "serve", "--store", store_dir, "--port", str(port), "--quiet"]
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=1
+                ) as resp:
+                    json.loads(resp.read())
+                break
+            except (urllib.error.URLError, OSError):
+                if time.monotonic() > deadline:
+                    print("server did not become healthy within 30s")
+                    return 1
+                time.sleep(0.2)
+
+        body = json.dumps(
+            {"queries": [{"low": list(b.low), "high": list(b.high)} for b in boxes]}
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/releases/{release_id}/query", data=body
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            answers = np.array(json.loads(resp.read())["answers"])
+
+        if not np.array_equal(answers, expected):
+            worst = float(np.abs(answers - expected).max())
+            print(
+                f"FAIL: HTTP answers deviate from in-process query_many "
+                f"(max |delta| = {worst})"
+            )
+            return 1
+        print(
+            f"OK: {n_queries} served answers bit-identical to in-process "
+            f"query_many for {release_id}"
+        )
+        return 0
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,7 +27,7 @@ The historical free functions (``privtree_histogram`` and friends) remain
 importable as deprecated shims that produce identical results.
 """
 
-from . import api
+from . import api, serve
 from .api import Estimator, Release, from_spec
 from .core import (
     DecompositionTree,
@@ -52,7 +52,7 @@ from .spatial import (
     simpletree_histogram,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Alphabet",
@@ -75,6 +75,7 @@ __all__ = [
     "private_pst",
     "privtree",
     "privtree_histogram",
+    "serve",
     "simpletree",
     "simpletree_histogram",
     "__version__",

@@ -1,0 +1,42 @@
+"""Crash-safe file writes for published artifacts.
+
+Every artifact this package publishes (releases, synopses, store
+manifests) is written through :func:`atomic_write_text`: the bytes go to a
+temporary file in the destination directory and are renamed into place
+with :func:`os.replace`, so a reader can never observe a truncated
+document — it sees either the previous complete file or the new one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the same directory as ``path`` so the final
+    rename stays on one filesystem (where ``os.replace`` is atomic).  The
+    data is fsynced before the rename; on any failure the temporary file is
+    removed and the destination is left untouched.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

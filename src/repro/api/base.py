@@ -22,6 +22,9 @@ import json
 from pathlib import Path
 from typing import Any, ClassVar
 
+import numpy as np
+
+from .._io import atomic_write_text
 from ..mechanisms.accountant import PrivacyAccountant
 
 __all__ = ["Estimator", "Release", "release_from_json", "load_release", "save_release"]
@@ -67,6 +70,21 @@ class Release(abc.ABC):
     @abc.abstractmethod
     def query(self, *args: Any, **kwargs: Any) -> float:
         """Answer the release's native query type."""
+
+    def query_many(self, queries: Any) -> Any:
+        """Answer a batch of native queries (a numpy vector of answers).
+
+        Subclasses with compiled batch engines override this; the default
+        loops over :meth:`query`.
+        """
+        return np.array([self.query(q) for q in queries])
+
+    def warm(self) -> None:
+        """Compile any lazy batch-query engines now (no-op by default).
+
+        The serving layer calls this once at load time so the first query
+        against a cached release does not pay the compile cost.
+        """
 
     @abc.abstractmethod
     def _payload(self) -> dict[str, Any]:
@@ -120,8 +138,8 @@ def release_from_json(data: dict[str, Any]) -> Release:
 
 
 def save_release(release: Release, path: str | Path) -> None:
-    """Write a release to a JSON file."""
-    Path(path).write_text(json.dumps(release.to_json()))
+    """Write a release to a JSON file (atomically: temp file + rename)."""
+    atomic_write_text(path, json.dumps(release.to_json()))
 
 
 def load_release(path: str | Path) -> Release:

@@ -50,6 +50,10 @@ class SpatialRelease(Release):
         """Answer a whole workload; subclasses override with batched engines."""
         return np.array([self.range_count(box) for box in boxes])
 
+    def query_many(self, queries: Sequence[Box]) -> np.ndarray:
+        """Uniform batch surface: a spatial batch is a box workload."""
+        return self.range_count_many(queries)
+
 
 class SpatialTreeRelease(SpatialRelease):
     """A released hierarchical synopsis (PrivTree, SimpleTree, k-d tree)."""
@@ -84,6 +88,10 @@ class SpatialTreeRelease(SpatialRelease):
     def range_count_many(self, boxes: Sequence[Box]) -> np.ndarray:
         """Vectorized workload evaluation via the flat synopsis."""
         return self.tree.range_count_many(boxes)
+
+    def warm(self) -> None:
+        """Compile (and cache) the flat synopsis engine."""
+        self.tree.flat()
 
     def to_grid(self, shape: tuple[int, ...]) -> np.ndarray:
         """Rasterize the synopsis (see :meth:`HistogramTree.to_grid`)."""
@@ -237,6 +245,10 @@ class SequenceRelease(Release):
         """Estimated frequencies for a whole batch of coded strings."""
         return self.model.flat().frequency_many(queries)
 
+    def warm(self) -> None:
+        """Compile (and cache) the flat PST engine."""
+        self.model.flat()
+
     def top_k_strings(self, k: int, max_length: int = 12):
         """The model's ``k`` most frequent strings (mining task, §6.2).
 
@@ -284,6 +296,13 @@ class NGramRelease(Release):
     def query(self, codes: Sequence[int]) -> float:
         """Estimated frequency of the coded string."""
         return self.model.string_frequency(tuple(int(c) for c in codes))
+
+    def warm(self) -> None:
+        """Compile the flat n-gram engine when the model supports it."""
+        try:
+            self.model.flat()
+        except OverflowError:
+            pass  # uncompilable contexts: sampling falls back to the loop
 
     def top_k_strings(self, k: int, max_length: int = 12):
         """The model's ``k`` most frequent strings."""

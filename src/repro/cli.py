@@ -5,6 +5,10 @@ Examples::
     repro run --method privtree --dataset road --epsilon 1.0 --out release.json
     repro run --method pst --dataset msnbc --param l_top=15
     repro methods
+    repro store put --store synopses/ --method privtree --dataset gowalla
+    repro store ls --store synopses/
+    repro store get --store synopses/ RELEASE_ID --out release.json
+    repro serve --store synopses/ --port 8000
     repro figure5 --dataset road --band medium --reps 3
     repro figure6 --dataset msnbc --k 100
     repro figure7 --dataset mooc
@@ -15,9 +19,12 @@ Examples::
 
 ``run`` resolves ``--method`` from :mod:`repro.api.registry`, fits it on a
 registered dataset, prints the release summary plus the privacy-budget
-ledger, and optionally writes the release JSON.  The ``figure*`` / ``table*``
-commands print the corresponding paper-style table; ``--n`` scales the
-synthetic dataset, ``--epsilons`` overrides the sweep.
+ledger, and optionally writes the release JSON.  ``store put`` fits the
+same way but persists the release into a :class:`~repro.serve.ReleaseStore`
+directory; ``serve`` answers batched queries against such a store over
+HTTP.  The ``figure*`` / ``table*`` commands print the corresponding
+paper-style table; ``--n`` scales the synthetic dataset, ``--epsilons``
+overrides the sweep.
 """
 
 from __future__ import annotations
@@ -60,22 +67,52 @@ def build_parser() -> argparse.ArgumentParser:
             help="privacy budgets to sweep",
         )
 
+    def fit_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--method", required=True, help="registry name (see `repro methods`)")
+        p.add_argument("--dataset", required=True, help="dataset name (see `repro datasets`)")
+        p.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
+        p.add_argument("--n", type=int, default=None, help="dataset cardinality")
+        p.add_argument("--seed", type=int, default=0, help="rng seed")
+        p.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="extra estimator parameter (repeatable), e.g. --param theta=0.5",
+        )
+
     run = sub.add_parser("run", help="fit one registered method on one dataset")
-    run.add_argument("--method", required=True, help="registry name (see `repro methods`)")
-    run.add_argument("--dataset", required=True, help="dataset name (see `repro datasets`)")
-    run.add_argument("--epsilon", type=float, default=1.0, help="privacy budget")
-    run.add_argument("--n", type=int, default=None, help="dataset cardinality")
-    run.add_argument("--seed", type=int, default=0, help="rng seed")
-    run.add_argument(
-        "--param",
-        action="append",
-        default=[],
-        metavar="KEY=VALUE",
-        help="extra estimator parameter (repeatable), e.g. --param theta=0.5",
-    )
+    fit_args(run)
     run.add_argument("--out", default=None, help="write the release JSON here")
 
     sub.add_parser("methods", help="list the registered estimator methods")
+
+    store = sub.add_parser("store", help="persist and inspect releases in a directory store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_put = store_sub.add_parser("put", help="fit a method and persist the release")
+    store_put.add_argument("--store", required=True, help="store directory (created if missing)")
+    fit_args(store_put)
+    store_put.add_argument(
+        "--id", default=None, dest="release_id",
+        help="explicit release id (default: method + content hash)",
+    )
+    store_ls = store_sub.add_parser("ls", help="list the stored releases")
+    store_ls.add_argument("--store", required=True, help="store directory")
+    store_get = store_sub.add_parser("get", help="reload one stored release")
+    store_get.add_argument("--store", required=True, help="store directory")
+    store_get.add_argument("release_id", help="release id (see `repro store ls`)")
+    store_get.add_argument("--out", default=None, help="copy the release JSON here")
+
+    serve_p = sub.add_parser("serve", help="answer batched queries against a store over HTTP")
+    serve_p.add_argument("--store", required=True, help="store directory")
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument("--port", type=int, default=8000, help="bind port")
+    serve_p.add_argument(
+        "--cache", type=int, default=8, help="LRU bound on resident releases"
+    )
+    serve_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
 
     fig5 = sub.add_parser("figure5", help="range-count relative error")
     fig5.add_argument("--dataset", default="road", choices=["road", "gowalla", "nyc", "beijing"])
@@ -149,8 +186,13 @@ def _parse_param(text: str) -> tuple[str, object]:
     return key, value
 
 
-def _run_method(args: argparse.Namespace) -> str:
-    from .api import registry, save_release
+def _fit_release(args: argparse.Namespace):
+    """Shared fit path of ``run`` and ``store put``.
+
+    Returns ``(release, estimator, dataset, accountant)`` or exits with a
+    usage error.
+    """
+    from .api import registry
     from .datasets import SEQUENCE_DATASETS, SPATIAL_DATASETS
     from .mechanisms import PrivacyAccountant
 
@@ -187,7 +229,13 @@ def _run_method(args: argparse.Namespace) -> str:
     dataset = spec.make(args.n, rng=args.seed)
     accountant = PrivacyAccountant(args.epsilon)
     release = estimator.fit(dataset, accountant=accountant, rng=args.seed)
+    return release, estimator, dataset, accountant
 
+
+def _run_method(args: argparse.Namespace) -> str:
+    from .api import save_release
+
+    release, estimator, dataset, accountant = _fit_release(args)
     lines = [
         f"method   : {args.method} ({type(estimator).__name__})",
         f"dataset  : {args.dataset} (n={dataset.n:,})",
@@ -201,6 +249,84 @@ def _run_method(args: argparse.Namespace) -> str:
         save_release(release, args.out)
         lines.append(f"release written to {args.out}")
     return "\n".join(lines)
+
+
+def _run_store(args: argparse.Namespace) -> str:
+    from .serve import ReleaseStore, StoreError
+
+    if args.store_command == "put":
+        if args.release_id is not None:
+            try:
+                # Fail a bad --id before the (possibly minutes-long) fit.
+                ReleaseStore.validate_id(args.release_id)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+        # Fit first: a usage error must not leave an empty store behind.
+        release, estimator, dataset, _ = _fit_release(args)
+        store = ReleaseStore(args.store)
+        release_id = store.put(
+            release,
+            release_id=args.release_id,
+            dataset=f"{args.dataset}(n={dataset.n})",
+            params=estimator.params(),
+        )
+        entry = store.manifest_entry(release_id)
+        return (
+            f"stored {release_id}\n"
+            f"  method={entry['method']} kind={entry['kind']} "
+            f"size={entry['size']:,} epsilon_spent={entry['epsilon_spent']:g}\n"
+            f"  {store.root / entry['path']}"
+        )
+    # ls / get are read-only: never materialize a store at a mistyped path.
+    try:
+        store = ReleaseStore(args.store, create=False)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.store_command == "ls":
+        entries = store.entries()
+        if not entries:
+            return f"store {store.root} is empty"
+        lines = [f"{'id':34s} {'method':11s} {'kind':22s} {'size':>9s} {'epsilon':>8s}  dataset"]
+        for e in entries:
+            lines.append(
+                f"{e['id']:34s} {e['method']:11s} {e['kind']:22s} "
+                f"{e['size']:>9,d} {e['epsilon_spent']:>8g}  {e['dataset']}"
+            )
+        return "\n".join(lines)
+    # get
+    try:
+        release = store.get(args.release_id)
+        entry = store.manifest_entry(args.release_id)
+    except StoreError as exc:
+        raise SystemExit(str(exc.args[0])) from None
+    lines = [
+        f"release  : {type(release).__name__}, size={release.size:,}",
+        f"method   : {entry['method']} ({entry['kind']})",
+        f"epsilon  : {release.epsilon_spent:g}",
+        f"dataset  : {entry['dataset']}",
+        f"created  : {entry['created_at']}",
+    ]
+    if args.out:
+        from .api import save_release
+
+        save_release(release, args.out)
+        lines.append(f"release written to {args.out}")
+    return "\n".join(lines)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .serve import ReleaseStore, serve
+
+    try:
+        store = ReleaseStore(args.store, create=False)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"serving {len(store)} release(s) from {store.root} "
+        f"on http://{args.host}:{args.port} (cache={args.cache}) — Ctrl-C stops"
+    )
+    serve(store, args.host, args.port, cache_size=args.cache, quiet=args.quiet)
+    return 0
 
 
 def _run_methods() -> str:
@@ -303,6 +429,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_run_method(args))
     elif args.command == "methods":
         print(_run_methods())
+    elif args.command == "store":
+        print(_run_store(args))
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "figure5":
         result = run_range_query_experiment(
             args.dataset,

@@ -24,6 +24,7 @@ from .perf import (
     compare_bench_results,
     run_perf_bench,
     run_sequence_perf_bench,
+    run_service_perf_bench,
     write_bench_json,
 )
 from .timing import run_privtree_timing
@@ -43,6 +44,7 @@ __all__ = [
     "run_perf_bench",
     "run_privtree_timing",
     "run_sequence_perf_bench",
+    "run_service_perf_bench",
     "write_bench_json",
     "run_range_query_experiment",
     "run_topk_experiment",

@@ -52,6 +52,7 @@ __all__ = [
     "reference_workload_answers",
     "run_perf_bench",
     "run_sequence_perf_bench",
+    "run_service_perf_bench",
     "write_bench_json",
 ]
 
@@ -335,6 +336,48 @@ def run_sequence_perf_bench(
     }
 
 
+def run_service_perf_bench(
+    synopsis: HistogramTree,
+    queries,
+    epsilon: float,
+    repeats: int = 3,
+) -> dict:
+    """Time cache-hit batched queries through the serving stack.
+
+    Publishes the synopsis into a temporary :class:`~repro.serve.
+    ReleaseStore`, loads it once through a :class:`~repro.serve.
+    SynopsisService` (paying the load + flat-engine compile exactly once),
+    then times the steady-state path a deployed ``repro serve`` spends its
+    life on: LRU hit -> ``range_count_many`` on the cached compiled engine.
+    The answers are asserted bit-identical to querying the in-memory flat
+    engine directly — the store round-trip must not change a single float.
+    """
+    import tempfile
+
+    from ..api.releases import SpatialTreeRelease
+    from ..serve import ReleaseStore, SynopsisService
+
+    direct = synopsis.flat().range_count_many(queries)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as root:
+        store = ReleaseStore(root)
+        release = SpatialTreeRelease(synopsis, method="privtree", epsilon_spent=epsilon)
+        release_id = store.put(release, dataset="bench")
+        service = SynopsisService(store, cache_size=4)
+        served = service.query_many(release_id, queries)  # cold: load + compile
+        if not np.array_equal(served, direct):
+            raise AssertionError(
+                "served answers deviate from the in-process flat engine"
+            )
+        service_s, _ = _best_of(
+            repeats, lambda: service.query_many(release_id, queries)
+        )
+    return {
+        "optimized_s": service_s,
+        "queries_per_s": len(queries) / service_s,
+        "cache_hit": True,
+    }
+
+
 def run_perf_bench(
     n_points: int = 200_000,
     n_queries: int = 1_000,
@@ -383,6 +426,10 @@ def run_perf_bench(
         repeats, lambda: generate_workload(data.domain, band, n_queries, rng=rng + 1)
     )
 
+    service_case = run_service_perf_bench(
+        synopsis, queries, epsilon=epsilon, repeats=repeats
+    )
+
     sequence = run_sequence_perf_bench(
         n_sequences=n_sequences,
         n_synthetic=n_synthetic,
@@ -423,6 +470,7 @@ def run_perf_bench(
             "workload_generation": {
                 "optimized_s": workload_s,
             },
+            "service_cached_queries": service_case,
             **sequence["cases"],
         },
     }

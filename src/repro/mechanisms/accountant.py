@@ -57,12 +57,17 @@ class PrivacyAccountant:
         """Consume ``epsilon`` from the budget and return it.
 
         A tiny relative tolerance absorbs float rounding when a caller splits
-        the budget into fractions that should sum exactly to the total.
+        the budget into fractions that should sum exactly to the total.  The
+        tolerance only stretches a *final* split-fraction spend whose
+        rounded sum overshoots the total; once the ledger has reached the
+        full budget (``remaining == 0``) every further spend is refused —
+        an exhausted accountant must never admit another mechanism.
         """
         if not epsilon > 0:
             raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+        remaining = self.total_epsilon - self.spent
         tolerance = 1e-9 * self.total_epsilon
-        if self.spent + epsilon > self.total_epsilon + tolerance:
+        if remaining <= 0 or epsilon > remaining + tolerance:
             raise BudgetExceededError(
                 f"spending {epsilon:.6g} would exceed budget: "
                 f"{self.spent:.6g} of {self.total_epsilon:.6g} already used"

@@ -31,10 +31,35 @@ def _check_alpha(epsilon: float, sensitivity: float) -> float:
     return math.exp(-epsilon / sensitivity)
 
 
+def _success_probability(epsilon: float, sensitivity: float) -> float:
+    """The geometric success probability ``p = 1 - e^(-ε/Δ)``.
+
+    Computed via ``-expm1(-ε/Δ)`` so that tiny budgets (ε/Δ down to the
+    subnormal range) keep ``p > 0`` instead of rounding ``e^(-ε/Δ)`` to
+    ``1.0`` and handing numpy an invalid ``p = 0.0``.
+    """
+    _check_alpha(epsilon, sensitivity)
+    p = -math.expm1(-epsilon / sensitivity)
+    if not p > 0.0:
+        raise ValueError(
+            f"epsilon/sensitivity = {epsilon / sensitivity!r} is too small: "
+            "the geometric success probability 1 - e^(-eps/sens) underflows "
+            "to 0.0 in double precision"
+        )
+    return p
+
+
 def geometric_pmf(k: int, epsilon: float, sensitivity: float = 1.0) -> float:
-    """``Pr[noise = k]`` for the two-sided geometric with ratio e^(-ε/Δ)."""
+    """``Pr[noise = k]`` for the two-sided geometric with ratio e^(-ε/Δ).
+
+    Written in terms of ``p = 1 - alpha`` (via ``expm1``, like the
+    samplers) so the mass stays positive at the tiny budgets
+    :func:`geometric_noise` supports instead of rounding to an all-zero
+    "pmf".
+    """
     alpha = _check_alpha(epsilon, sensitivity)
-    return (1.0 - alpha) / (1.0 + alpha) * alpha ** abs(int(k))
+    p = _success_probability(epsilon, sensitivity)
+    return p / (2.0 - p) * alpha ** abs(int(k))
 
 
 def geometric_noise(
@@ -47,10 +72,15 @@ def geometric_noise(
 
     Sampled as the difference of two i.i.d. geometric variables, which has
     exactly the two-sided geometric law.
+
+    .. note:: the success probability is computed as ``-expm1(-ε/Δ)`` so
+       tiny budgets no longer underflow to an invalid ``p = 0``.  This can
+       differ from the historical ``1 - exp(-ε/Δ)`` in the last ulp, so a
+       fixed seed may draw different (identically distributed) noise than
+       pre-1.2 releases at some ε.
     """
-    alpha = _check_alpha(epsilon, sensitivity)
+    p = _success_probability(epsilon, sensitivity)
     gen = ensure_rng(rng)
-    p = 1.0 - alpha
     shape = (1,) if size is None else size
     # numpy's geometric counts trials (support 1, 2, ...); shift to 0-based.
     plus = gen.geometric(p, size=shape) - 1
@@ -75,11 +105,10 @@ def geometric_noise_interleaved(
     underlying stream in exactly that interleaved order, so the returned
     noise is bit-identical to the historical per-value loop.
     """
-    alpha = _check_alpha(epsilon, sensitivity)
+    p = _success_probability(epsilon, sensitivity)
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n!r}")
     gen = ensure_rng(rng)
-    p = 1.0 - alpha
     draws = gen.geometric(p, size=(n, 2)) - 1
     return draws[:, 0] - draws[:, 1]
 

@@ -3,6 +3,11 @@
 Mirrors ``repro.spatial.serialize``: the published artifact (contexts,
 noisy histograms, the alphabet) as plain JSON, so a private Markov model
 can be shipped to consumers who only need to *use* it.
+
+Loading validates the document — artifacts arriving through the release
+store or the HTTP query service are untrusted, so inconsistent contexts,
+wrong-width histograms, and non-finite values fail here with a clear
+:class:`ValueError` instead of surfacing later inside the flat engine.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Any
 
 import numpy as np
 
+from .._io import atomic_write_text
 from .alphabet import Alphabet
 from .pst import PredictionSuffixTree, PSTNode
 
@@ -35,16 +41,46 @@ def _node_to_dict(node: PSTNode) -> dict[str, Any]:
     return out
 
 
-def _node_from_dict(data: dict[str, Any]) -> PSTNode:
-    children = {
-        int(code): _node_from_dict(child)
-        for code, child in data.get("children", {}).items()
-    }
-    return PSTNode(
-        context=tuple(int(c) for c in data["context"]),
-        hist=np.asarray(data["hist"], dtype=float),
-        children=children,
-    )
+def _node_from_dict(
+    data: dict[str, Any],
+    alphabet: Alphabet,
+    parent_context: tuple[int, ...] | None = None,
+    child_code: int | None = None,
+) -> PSTNode:
+    try:
+        context = tuple(int(c) for c in data["context"])
+    except (KeyError, TypeError, ValueError):
+        raise ValueError(
+            f"PST node must carry an integer 'context' list, "
+            f"got {data.get('context')!r}"
+        ) from None
+    if parent_context is not None and context != (child_code,) + parent_context:
+        raise ValueError(
+            f"child context {context!r} under key {child_code!r} does not "
+            f"extend its parent context {parent_context!r}"
+        )
+    try:
+        hist = np.asarray([float(v) for v in data["hist"]], dtype=float)
+    except (KeyError, TypeError, ValueError):
+        raise ValueError(
+            f"PST node {context!r} must carry a numeric 'hist' list, "
+            f"got {data.get('hist')!r}"
+        ) from None
+    if hist.shape != (alphabet.hist_size,):
+        raise ValueError(
+            f"PST node {context!r} histogram has {hist.size} entries; the "
+            f"alphabet requires {alphabet.hist_size}"
+        )
+    if not np.all(np.isfinite(hist)):
+        raise ValueError(f"non-finite histogram value in PST node {context!r}")
+    children = {}
+    for raw_code, child in data.get("children", {}).items():
+        try:
+            code = int(raw_code)
+        except (TypeError, ValueError):
+            raise ValueError(f"non-integer child key {raw_code!r}") from None
+        children[code] = _node_from_dict(child, alphabet, context, code)
+    return PSTNode(context=context, hist=hist, children=children)
 
 
 def pst_to_dict(pst: PredictionSuffixTree) -> dict[str, Any]:
@@ -58,18 +94,34 @@ def pst_to_dict(pst: PredictionSuffixTree) -> dict[str, Any]:
 
 
 def pst_from_dict(data: dict[str, Any]) -> PredictionSuffixTree:
-    """Inverse of :func:`pst_to_dict` (validates the header)."""
+    """Inverse of :func:`pst_to_dict` (validates header and structure).
+
+    Raises :class:`ValueError` on malformed documents: histograms whose
+    width disagrees with the alphabet, non-finite values, child contexts
+    that do not extend their parent's context by the child's key symbol.
+    """
     if data.get("format") != _FORMAT:
         raise ValueError(f"not a PST document: {data.get('format')!r}")
     if data.get("version") != _VERSION:
         raise ValueError(f"unsupported version {data.get('version')!r}")
-    alphabet = Alphabet(tuple(data["alphabet"]))
-    return PredictionSuffixTree(alphabet=alphabet, root=_node_from_dict(data["root"]))
+    try:
+        symbols = tuple(str(s) for s in data["alphabet"])
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"PST document must carry an 'alphabet' symbol list, "
+            f"got {data.get('alphabet')!r}"
+        ) from None
+    alphabet = Alphabet(symbols)
+    if "root" not in data:
+        raise ValueError("PST document has no 'root' node")
+    return PredictionSuffixTree(
+        alphabet=alphabet, root=_node_from_dict(data["root"], alphabet)
+    )
 
 
 def save_pst(pst: PredictionSuffixTree, path: str | Path) -> None:
-    """Write a PST to a JSON file."""
-    Path(path).write_text(json.dumps(pst_to_dict(pst)))
+    """Write a PST to a JSON file (atomically: temp file + rename)."""
+    atomic_write_text(path, json.dumps(pst_to_dict(pst)))
 
 
 def load_pst(path: str | Path) -> PredictionSuffixTree:

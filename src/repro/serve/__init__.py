@@ -1,0 +1,40 @@
+"""The serving subsystem: persist releases, reload them, answer traffic.
+
+PrivTree's product is a published synopsis that keeps answering queries
+long after the fitting process exits.  This package is that lifecycle:
+
+* :class:`ReleaseStore` — a directory-backed artifact store (JSON manifest
+  + one ``Release.to_json`` envelope per artifact, all written atomically).
+* :class:`SynopsisService` — an in-process query front-end that lazily
+  loads releases, warms their compiled flat engines, LRU-bounds the
+  resident set, and dispatches batched workloads.
+* :class:`SynopsisHTTPServer` / :func:`serve` — a stdlib JSON-over-HTTP
+  API (``GET /releases``, ``POST /releases/{id}/query``) on top of the
+  service; ``repro serve`` on the command line.
+
+Example::
+
+    from repro.api import from_spec
+    from repro.serve import ReleaseStore, SynopsisService
+
+    store = ReleaseStore("synopses/")
+    release = from_spec("privtree", epsilon=1.0).fit(points, rng=0)
+    release_id = store.put(release, dataset="gowalla")
+
+    service = SynopsisService(store, cache_size=8)
+    answers = service.query_many(release_id, boxes)   # cached after load
+"""
+
+from .http import SynopsisHTTPServer, serve
+from .service import ArtifactLoadError, SynopsisService, parse_queries
+from .store import ReleaseStore, StoreError
+
+__all__ = [
+    "ArtifactLoadError",
+    "ReleaseStore",
+    "StoreError",
+    "SynopsisHTTPServer",
+    "SynopsisService",
+    "parse_queries",
+    "serve",
+]

@@ -1,0 +1,173 @@
+"""A stdlib JSON/HTTP front-end for the synopsis service.
+
+No framework, no dependencies: a :class:`ThreadingHTTPServer` whose
+handler translates HTTP to :class:`~repro.serve.service.SynopsisService`
+calls.  Endpoints::
+
+    GET  /healthz                  liveness + store size
+    GET  /releases                 manifest entries of every stored release
+    GET  /releases/{id}            one manifest entry
+    POST /releases/{id}/query      {"queries": [...]} -> {"answers": [...]}
+
+A spatial batch is a list of ``{"low": [...], "high": [...]}`` boxes, a
+sequence batch a list of symbol-code lists.  Answers are the exact floats
+``release.query_many`` returns in-process (JSON round-trips doubles
+losslessly via ``repr``), so a consumer can verify a served batch
+bit-for-bit against a local reload of the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .service import ArtifactLoadError, SynopsisService
+from .store import ReleaseStore, StoreError
+
+__all__ = ["SynopsisHTTPServer", "SynopsisRequestHandler", "serve"]
+
+#: Refuse query bodies larger than this many bytes (a 1M-box batch is ~100MB;
+#: this bound keeps one bad client from exhausting server memory).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class SynopsisRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the server's service/store."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------
+
+    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _route(self) -> tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    @property
+    def _service(self) -> SynopsisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+    # -- endpoints -----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        route = self._route()
+        store = self._service.store
+        if route == ("healthz",):
+            self._send_json(
+                200,
+                {"status": "ok", "releases": len(store), **self._service.stats()},
+            )
+        elif route == ("releases",):
+            self._send_json(200, {"releases": store.entries()})
+        elif len(route) == 2 and route[0] == "releases":
+            try:
+                self._send_json(200, store.manifest_entry(route[1]))
+            except StoreError:
+                self._send_error_json(404, f"unknown release id {route[1]!r}")
+        else:
+            self._send_error_json(404, f"no such endpoint: {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        # Error paths below bail without consuming the request body; the
+        # unread bytes would desync a kept-alive HTTP/1.1 connection (the
+        # next request line would be parsed out of the old body), so every
+        # body-skipping response also closes the connection.
+        route = self._route()
+        if len(route) != 3 or route[0] != "releases" or route[2] != "query":
+            self.close_connection = True
+            self._send_error_json(404, f"no such endpoint: {self.path!r}")
+            return
+        release_id = route[1]
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self.close_connection = True
+            self._send_error_json(400, "invalid Content-Length")
+            return
+        if length <= 0:
+            self.close_connection = True
+            self._send_error_json(400, "empty request body; send JSON")
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._send_error_json(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return
+        try:
+            body = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            self._send_error_json(400, f"request body is not valid JSON: {exc}")
+            return
+        raw_queries = body.get("queries") if isinstance(body, dict) else None
+        if not isinstance(raw_queries, list):
+            self._send_error_json(
+                400, 'request body must be {"queries": [...]} with a list'
+            )
+            return
+        try:
+            response = self._service.answer_batch(release_id, raw_queries)
+        except StoreError:
+            self._send_error_json(404, f"unknown release id {release_id!r}")
+            return
+        except ArtifactLoadError as exc:
+            # The server's stored artifact is broken — not the client's query.
+            self._send_error_json(500, str(exc))
+            return
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except Exception as exc:  # never drop the connection without a body
+            self._send_error_json(500, f"internal error: {exc}")
+            return
+        self._send_json(200, response)
+
+
+class SynopsisHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server wrapping one store + one service."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        store: ReleaseStore,
+        *,
+        cache_size: int = 8,
+        quiet: bool = False,
+    ) -> None:
+        super().__init__(address, SynopsisRequestHandler)
+        self.service = SynopsisService(store, cache_size=cache_size)
+        self.quiet = quiet
+
+
+def serve(
+    store: ReleaseStore,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    cache_size: int = 8,
+    quiet: bool = False,
+) -> None:
+    """Serve ``store`` over HTTP until interrupted (blocking)."""
+    server = SynopsisHTTPServer((host, port), store, cache_size=cache_size, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

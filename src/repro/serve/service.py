@@ -1,0 +1,182 @@
+"""The :class:`SynopsisService`: an in-process query front-end.
+
+Sits between a :class:`~repro.serve.store.ReleaseStore` and query traffic:
+releases are loaded lazily, their compiled flat engines
+(``FlatHistogram`` / ``FlatPST`` / ``FlatNGram``) are warmed at load time,
+and an LRU bound keeps the resident set small while hot synopses answer
+batches straight from cache.  The HTTP layer and the CLI both dispatch
+through this class, so the wire semantics live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..api.base import Release
+from ..api.releases import SpatialRelease
+from ..domains.box import Box
+from .store import ReleaseStore, StoreError
+
+__all__ = ["ArtifactLoadError", "SynopsisService", "parse_queries"]
+
+
+class ArtifactLoadError(RuntimeError):
+    """A release listed in the manifest failed to load or compile.
+
+    Distinct from :class:`~repro.serve.store.StoreError` (unknown id — the
+    client's fault) and from the :class:`ValueError` of a malformed query
+    batch: this one means the *server's* stored artifact is corrupt, so
+    the HTTP layer reports it as a 500, not a 4xx."""
+
+
+def parse_queries(release: Release, raw_queries: Sequence[Any]) -> list[Any]:
+    """Decode a JSON batch into the release's native query objects.
+
+    Spatial releases take boxes (``{"low": [...], "high": [...]}``);
+    sequence releases take coded strings (lists of symbol codes).  Raises
+    :class:`ValueError` with the offending index on malformed entries.
+    """
+    queries: list[Any] = []
+    spatial = isinstance(release, SpatialRelease)
+    for i, raw in enumerate(raw_queries):
+        try:
+            if spatial:
+                queries.append(Box.from_arrays(raw["low"], raw["high"]))
+            else:
+                if isinstance(raw, (str, bytes)):
+                    # Iterating "12" would silently yield codes [1, 2].
+                    raise TypeError("a string is not a code list")
+                queries.append([int(c) for c in raw])
+        except (KeyError, TypeError, ValueError) as exc:
+            expected = (
+                '{"low": [...], "high": [...]} boxes'
+                if spatial
+                else "lists of integer symbol codes"
+            )
+            raise ValueError(
+                f"query {i} is malformed ({exc}); this release answers {expected}"
+            ) from None
+    return queries
+
+
+class SynopsisService:
+    """Serve batched queries against stored releases, LRU-caching artifacts.
+
+    Parameters
+    ----------
+    store:
+        The backing :class:`ReleaseStore`.
+    cache_size:
+        Maximum number of resident releases.  ``0`` disables caching
+        (every batch reloads from disk — useful only for testing).
+    """
+
+    def __init__(self, store: ReleaseStore, *, cache_size: int = 8) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size!r}")
+        self.store = store
+        self.cache_size = cache_size
+        self._cache: OrderedDict[str, Release] = OrderedDict()
+        self._lock = threading.RLock()
+        #: Per-id load guards: a cold load/compile must not stall cache
+        #: hits on *other* releases, only duplicate loads of the same id.
+        self._load_locks: dict[str, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _cached(self, release_id: str) -> Release | None:
+        """Cache lookup counting a hit and refreshing recency."""
+        cached = self._cache.get(release_id)
+        if cached is not None:
+            self._cache.move_to_end(release_id)
+            self.hits += 1
+        return cached
+
+    def release(self, release_id: str) -> Release:
+        """The release for ``release_id``: from cache, else loaded + warmed."""
+        with self._lock:
+            cached = self._cached(release_id)
+            if cached is not None:
+                return cached
+            guard = self._load_locks.setdefault(release_id, threading.Lock())
+        with guard:
+            # Re-check: another thread may have finished this load while we
+            # waited on the guard; that's a hit, not a second load.
+            with self._lock:
+                cached = self._cached(release_id)
+                if cached is not None:
+                    return cached
+                self.misses += 1
+            try:
+                release = self.store.get(release_id)
+                release.warm()  # compile the flat engines before first query
+            except BaseException as exc:
+                # Unknown/broken ids must not grow the guard table without
+                # bound (untrusted clients can invent ids freely); threads
+                # already waiting on the popped lock still sequence on it.
+                with self._lock:
+                    self._load_locks.pop(release_id, None)
+                if isinstance(exc, StoreError) or not isinstance(exc, Exception):
+                    raise
+                raise ArtifactLoadError(
+                    f"stored release {release_id!r} failed to load: {exc}"
+                ) from exc
+            with self._lock:
+                if self.cache_size > 0:
+                    self._cache[release_id] = release
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+                        self.evictions += 1
+                return release
+
+    def query_many(self, release_id: str, queries: Sequence[Any]) -> np.ndarray:
+        """Batched native-query answers for one stored release."""
+        return self.release(release_id).query_many(queries)
+
+    def answer_batch(
+        self, release_id: str, raw_queries: Sequence[Any]
+    ) -> dict[str, Any]:
+        """Decode a JSON query batch, dispatch it, and build the response.
+
+        This is the full wire path: the HTTP handler and any RPC front-end
+        send exactly this dict, so in-process answers and served answers
+        are the same floats.  One cache access per batch; nothing on this
+        path touches the manifest on disk.
+        """
+        release = self.release(release_id)
+        queries = parse_queries(release, raw_queries)
+        answers = [float(v) for v in release.query_many(queries)]
+        return {
+            "id": release_id,
+            "method": release.method,
+            "count": len(answers),
+            "answers": answers,
+        }
+
+    def cached_ids(self) -> list[str]:
+        """Resident release ids, least- to most-recently used."""
+        with self._lock:
+            return list(self._cache)
+
+    def stats(self) -> dict[str, int]:
+        """Cache counters (hits / misses / evictions / resident)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "resident": len(self._cache),
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<SynopsisService store={str(self.store.root)!r} "
+            f"resident={s['resident']}/{self.cache_size} "
+            f"hits={s['hits']} misses={s['misses']}>"
+        )

@@ -14,6 +14,8 @@ class TestParser:
         assert set(sub.choices) == {
             "run",
             "methods",
+            "store",
+            "serve",
             "figure5",
             "figure6",
             "figure7",
@@ -134,6 +136,7 @@ class TestCommands:
             "privtree_build",
             "workload_queries",
             "workload_generation",
+            "service_cached_queries",
             "gram_counting",
             "substring_counting",
             "substring_count_table",
@@ -143,6 +146,8 @@ class TestCommands:
         }
         assert results["cases"]["workload_queries"]["max_abs_deviation"] < 1e-6
         assert results["cases"]["topk_scoring"]["max_abs_deviation"] < 1e-9
+        assert results["cases"]["service_cached_queries"]["queries_per_s"] > 0
+        assert results["cases"]["service_cached_queries"]["cache_hit"] is True
         assert results["config"]["n_points"] == 3000
         assert results["config"]["sequence"]["n_sequences"] == 1500
 
@@ -248,3 +253,81 @@ class TestRunCommand:
     def test_run_rejects_kind_mismatch(self):
         with pytest.raises(SystemExit):
             main(["run", "--method", "privtree", "--dataset", "msnbc", "--n", "500"])
+
+
+class TestStoreCommand:
+    def _put(self, store_dir, **overrides):
+        argv = [
+            "store", "put",
+            "--store", str(store_dir),
+            "--method", overrides.get("method", "ug"),
+            "--dataset", overrides.get("dataset", "gowalla"),
+            "--n", "1500",
+            "--epsilon", "0.5",
+        ]
+        if "release_id" in overrides:
+            argv += ["--id", overrides["release_id"]]
+        return main(argv)
+
+    def test_put_ls_get_round_trip(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert self._put(store_dir, release_id="demo") == 0
+        assert "stored demo" in capsys.readouterr().out
+
+        assert main(["store", "ls", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out and "ug" in out and "gowalla(n=1500)" in out
+
+        out_file = tmp_path / "copy.json"
+        code = main(
+            ["store", "get", "--store", str(store_dir), "demo", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert "GridRelease" in capsys.readouterr().out
+
+        from repro.api import load_release
+
+        release = load_release(out_file)
+        assert release.method == "ug"
+        assert release.epsilon_spent == 0.5
+
+    def test_manifest_records_params(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert self._put(store_dir, release_id="demo") == 0
+        capsys.readouterr()
+
+        from repro.serve import ReleaseStore
+
+        entry = ReleaseStore(store_dir).manifest_entry("demo")
+        assert entry["params"]["epsilon"] == 0.5
+        assert entry["dataset"] == "gowalla(n=1500)"
+
+    def test_ls_empty_store(self, capsys, tmp_path):
+        from repro.serve import ReleaseStore
+
+        ReleaseStore(tmp_path / "empty")  # materialize an empty store
+        assert main(["store", "ls", "--store", str(tmp_path / "empty")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_ls_missing_store_exits_without_creating_it(self, tmp_path):
+        missing = tmp_path / "typo"
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["store", "ls", "--store", str(missing)])
+        assert not missing.exists()
+
+    def test_put_rejects_bad_id_before_fitting(self, tmp_path):
+        with pytest.raises(SystemExit, match="invalid release id"):
+            self._put(tmp_path / "store", release_id="../escape")
+        assert not (tmp_path / "store").exists()
+
+    def test_put_usage_error_leaves_no_store_behind(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown method"):
+            self._put(tmp_path / "store", method="typo")
+        assert not (tmp_path / "store").exists()
+
+    def test_get_unknown_id_exits(self, tmp_path):
+        from repro.serve import ReleaseStore
+
+        ReleaseStore(tmp_path / "s")
+        with pytest.raises(SystemExit, match="unknown release id"):
+            main(["store", "get", "--store", str(tmp_path / "s"), "nope"])

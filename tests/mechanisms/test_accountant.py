@@ -38,6 +38,36 @@ class TestAccountant:
         acc.spend_fraction(0.5)
         assert acc.remaining == pytest.approx(0.0, abs=1e-12)
 
+    def test_exhausted_accountant_admits_nothing(self):
+        # Regression: the float tolerance used to let an accountant whose
+        # ledger had reached the total accept further sub-tolerance spends
+        # (up to 1e-9 * total each, without bound over many calls).
+        acc = PrivacyAccountant(1.0)
+        acc.spend(1.0)
+        assert acc.remaining == 0.0
+        for epsilon in (1e-9, 1e-12, 5e-10):
+            with pytest.raises(BudgetExceededError):
+                acc.spend(epsilon)
+        assert acc.spent == 1.0
+
+    def test_exhausted_by_fractions_admits_nothing(self):
+        acc = PrivacyAccountant(0.7)
+        acc.spend_fraction(0.5)
+        acc.spend_fraction(0.5)
+        assert acc.remaining == 0.0
+        with pytest.raises(BudgetExceededError):
+            acc.spend(1e-10)
+
+    def test_tolerance_still_absorbs_final_split_rounding(self):
+        # Three thirds can round a hair above the total; the final spend
+        # must still be admitted (the tolerance's actual purpose).
+        acc = PrivacyAccountant(1.0)
+        third = 1.0 / 3.0
+        acc.spend(third)
+        acc.spend(third)
+        acc.spend(third + 2e-16)  # overshoot within 1e-9 * total
+        assert acc.spent == pytest.approx(1.0, abs=1e-9)
+
     def test_ledger_records_labels(self):
         acc = PrivacyAccountant(2.0)
         acc.spend(1.0, "structure")

@@ -51,6 +51,26 @@ class TestSampling:
         draws = geometric_noise(0.5, size=100_000, rng=2)
         assert abs(draws.mean()) < 0.1
 
+    def test_tiny_epsilon_pmf_stays_positive(self):
+        # The pmf must agree with the sampler about which budgets are
+        # representable: positive mass, not an all-zero "distribution".
+        assert geometric_pmf(0, 1e-18) > 0.0
+        assert geometric_pmf(0, 1e-18) == pytest.approx(5e-19)
+
+    def test_tiny_epsilon_does_not_underflow(self):
+        # Regression: p = 1 - e^(-eps) rounded to 0.0 below eps ~ 1e-16 and
+        # numpy raised an opaque ValueError from gen.geometric(0.0).  The
+        # expm1-based path keeps p positive all the way down.
+        assert isinstance(geometric_noise(1e-18, rng=0), int)
+        draws = geometric_noise(1e-18, size=(4,), rng=0)
+        assert draws.shape == (4,)
+
+    def test_true_underflow_raises_clearly(self):
+        # eps/sensitivity underflows to exactly 0.0 in double precision:
+        # the error must name the cause, not surface from numpy internals.
+        with pytest.raises(ValueError, match="underflow"):
+            geometric_noise(1e-300, sensitivity=1e300, rng=0)
+
 
 class TestMechanism:
     def test_integer_release(self):

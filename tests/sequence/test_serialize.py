@@ -73,3 +73,71 @@ class TestValidation:
         doc["version"] = 0
         with pytest.raises(ValueError):
             pst_from_dict(doc)
+
+
+def _doc(root, alphabet=("A", "B")):
+    return {
+        "format": "repro.prediction_suffix_tree",
+        "version": 1,
+        "alphabet": list(alphabet),
+        "root": root,
+    }
+
+
+class TestMalformedDocuments:
+    """Untrusted PST artifacts must fail at load with clear errors."""
+
+    def test_non_finite_hist_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            root = {"context": [], "hist": [1.0, 2.0, bad]}
+            with pytest.raises(ValueError, match="non-finite histogram"):
+                pst_from_dict(_doc(root))
+
+    def test_wrong_hist_width_rejected(self):
+        # Alphabet ("A", "B") predicts over I u {&}: exactly 3 entries.
+        root = {"context": [], "hist": [1.0, 2.0]}
+        with pytest.raises(ValueError, match="3"):
+            pst_from_dict(_doc(root))
+
+    def test_non_numeric_hist_rejected(self):
+        root = {"context": [], "hist": ["many", 1.0, 2.0]}
+        with pytest.raises(ValueError, match="numeric 'hist'"):
+            pst_from_dict(_doc(root))
+
+    def test_child_context_must_extend_parent(self):
+        root = {
+            "context": [],
+            "hist": [1.0, 2.0, 3.0],
+            "children": {"0": {"context": [1], "hist": [1.0, 1.0, 1.0]}},
+        }
+        with pytest.raises(ValueError, match="does not\\s+extend"):
+            pst_from_dict(_doc(root))
+
+    def test_non_integer_child_key_rejected(self):
+        root = {
+            "context": [],
+            "hist": [1.0, 2.0, 3.0],
+            "children": {"zero": {"context": [0], "hist": [1.0, 1.0, 1.0]}},
+        }
+        with pytest.raises(ValueError, match="non-integer child key"):
+            pst_from_dict(_doc(root))
+
+    def test_missing_root_rejected(self):
+        doc = _doc({"context": [], "hist": [1.0, 1.0, 1.0]})
+        del doc["root"]
+        with pytest.raises(ValueError, match="root"):
+            pst_from_dict(doc)
+
+    def test_missing_or_bad_alphabet_rejected(self):
+        doc = _doc({"context": [], "hist": [1.0, 1.0, 1.0]})
+        del doc["alphabet"]
+        with pytest.raises(ValueError, match="alphabet"):
+            pst_from_dict(doc)
+        bad = _doc({"context": [], "hist": [1.0]})
+        bad["alphabet"] = 7
+        with pytest.raises(ValueError, match="alphabet"):
+            pst_from_dict(bad)
+
+    def test_valid_nested_document_still_loads(self, model):
+        restored = pst_from_dict(json.loads(json.dumps(pst_to_dict(model))))
+        assert restored.size == model.size

@@ -1,0 +1,50 @@
+"""Shared fixtures for the serving subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import from_spec
+from repro.datasets import msnbclike
+from repro.domains import Box
+from repro.serve import ReleaseStore
+
+from ..api.conftest import FAST_PARAMS
+
+QUERY_BOXES = [
+    Box((0.1, 0.1), (0.4, 0.5)),
+    Box((0.0, 0.0), (1.0, 1.0)),
+    Box((0.55, 0.2), (0.85, 0.95)),
+]
+
+QUERY_CODES = [[0], [1, 2], [0, 1, 0]]
+
+
+def fit_release(name, uniform_2d, sequence_data, rng=0):
+    """One fitted release per registry method, at the fast test configs."""
+    kind, params = FAST_PARAMS[name]
+    dataset = uniform_2d if kind == "spatial" else sequence_data
+    return from_spec(name, epsilon=1.0, **params).fit(dataset, rng=rng), kind
+
+
+@pytest.fixture(scope="module")
+def sequence_data():
+    """A small browsing-history analogue (same config as the API tests)."""
+    return msnbclike(800, rng=3)
+
+
+@pytest.fixture
+def store(tmp_path) -> ReleaseStore:
+    """An empty store in a fresh temp directory."""
+    return ReleaseStore(tmp_path / "store")
+
+
+@pytest.fixture
+def spatial_store(tmp_path, uniform_2d):
+    """A store holding three distinct privtree releases (for LRU tests)."""
+    store = ReleaseStore(tmp_path / "store")
+    ids = []
+    for seed in range(3):
+        release, _ = fit_release("privtree", uniform_2d, None, rng=seed)
+        ids.append(store.put(release, release_id=f"privtree-seed{seed}"))
+    return store, ids

@@ -1,0 +1,207 @@
+"""The HTTP JSON API: endpoints, error paths, and concurrent batches."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import SynopsisHTTPServer
+
+from .conftest import QUERY_BOXES, QUERY_CODES, fit_release
+
+
+@pytest.fixture
+def server(store, uniform_2d, sequence_data):
+    """A running threaded server over a store with one release per family."""
+    spatial, _ = fit_release("privtree", uniform_2d, None)
+    sequence, _ = fit_release("pst", None, sequence_data)
+    ids = {
+        "spatial": store.put(spatial, release_id="tree", dataset="uniform2d"),
+        "sequence": store.put(sequence, release_id="pst", dataset="msnbc"),
+    }
+    httpd = SynopsisHTTPServer(("127.0.0.1", 0), store, cache_size=4, quiet=True)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd, ids, {"spatial": spatial, "sequence": sequence}
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+def _get(httpd, path):
+    port = httpd.server_address[1]
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(httpd, path, body):
+    port = httpd.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _box_batch(boxes):
+    return {"queries": [{"low": list(b.low), "high": list(b.high)} for b in boxes]}
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        httpd, _, _ = server
+        status, body = _get(httpd, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["releases"] == 2
+
+    def test_list_releases(self, server):
+        httpd, ids, _ = server
+        status, body = _get(httpd, "/releases")
+        assert status == 200
+        assert {e["id"] for e in body["releases"]} == set(ids.values())
+
+    def test_get_single_manifest_entry(self, server):
+        httpd, ids, _ = server
+        status, body = _get(httpd, f"/releases/{ids['spatial']}")
+        assert status == 200
+        assert body["method"] == "privtree"
+        assert body["dataset"] == "uniform2d"
+
+    def test_spatial_query_batch_matches_in_process(self, server):
+        httpd, ids, releases = server
+        status, body = _post(
+            httpd, f"/releases/{ids['spatial']}/query", _box_batch(QUERY_BOXES)
+        )
+        assert status == 200
+        assert body["count"] == len(QUERY_BOXES)
+        expected = releases["spatial"].query_many(QUERY_BOXES)
+        assert np.array_equal(np.array(body["answers"]), expected)
+
+    def test_sequence_query_batch_matches_in_process(self, server):
+        httpd, ids, releases = server
+        status, body = _post(
+            httpd, f"/releases/{ids['sequence']}/query", {"queries": QUERY_CODES}
+        )
+        assert status == 200
+        expected = [float(v) for v in releases["sequence"].query_many(QUERY_CODES)]
+        assert body["answers"] == expected
+
+
+class TestErrorPaths:
+    def test_unknown_release_404(self, server):
+        httpd, _, _ = server
+        status, body = _get(httpd, "/releases/nope")
+        assert status == 404 and "unknown release" in body["error"]
+        status, body = _post(httpd, "/releases/nope/query", _box_batch(QUERY_BOXES))
+        assert status == 404 and "unknown release" in body["error"]
+
+    def test_unknown_endpoint_404(self, server):
+        httpd, _, _ = server
+        status, body = _get(httpd, "/synopses")
+        assert status == 404
+
+    def test_invalid_json_400(self, server):
+        httpd, ids, _ = server
+        port = httpd.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/releases/{ids['spatial']}/query",
+            data=b"this is not json",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert "not valid JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_body_without_queries_list_400(self, server):
+        httpd, ids, _ = server
+        status, body = _post(httpd, f"/releases/{ids['spatial']}/query", {"boxes": []})
+        assert status == 400 and "queries" in body["error"]
+
+    def test_string_sequence_query_400_not_char_codes(self, server):
+        # "12" must not be silently decoded as the code list [1, 2].
+        httpd, ids, _ = server
+        status, body = _post(
+            httpd, f"/releases/{ids['sequence']}/query", {"queries": ["12"]}
+        )
+        assert status == 400
+        assert "query 0 is malformed" in body["error"]
+
+    def test_corrupt_stored_artifact_is_500_not_400(self, server, store):
+        # A manifest-listed release whose file is broken is the server's
+        # fault: the client must see a 500 with a body, never a 400 or a
+        # dropped connection.
+        httpd, ids, _ = server
+        (store.root / "releases" / f"{ids['spatial']}.json").write_text("garbage")
+        status, body = _post(
+            httpd, f"/releases/{ids['spatial']}/query", _box_batch(QUERY_BOXES)
+        )
+        assert status == 500
+        assert "failed to load" in body["error"]
+
+    def test_malformed_query_400_names_index(self, server):
+        httpd, ids, _ = server
+        status, body = _post(
+            httpd,
+            f"/releases/{ids['spatial']}/query",
+            {"queries": [{"low": [0.0, 0.0]}]},
+        )
+        assert status == 400
+        assert "query 0 is malformed" in body["error"]
+
+
+class TestConcurrency:
+    def test_concurrent_batches_all_exact(self, server):
+        httpd, ids, releases = server
+        from repro.spatial import generate_workload
+
+        boxes = generate_workload(releases["spatial"].tree.root.box, "medium", 50, rng=7)
+        expected = releases["spatial"].query_many(boxes)
+        seq_expected = [float(v) for v in releases["sequence"].query_many(QUERY_CODES)]
+        failures = []
+
+        def spatial_worker():
+            for _ in range(5):
+                status, body = _post(
+                    httpd, f"/releases/{ids['spatial']}/query", _box_batch(boxes)
+                )
+                if status != 200 or not np.array_equal(
+                    np.array(body["answers"]), expected
+                ):
+                    failures.append(("spatial", status))
+
+        def sequence_worker():
+            for _ in range(5):
+                status, body = _post(
+                    httpd,
+                    f"/releases/{ids['sequence']}/query",
+                    {"queries": QUERY_CODES},
+                )
+                if status != 200 or body["answers"] != seq_expected:
+                    failures.append(("sequence", status))
+
+        threads = [threading.Thread(target=spatial_worker) for _ in range(4)] + [
+            threading.Thread(target=sequence_worker) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not failures
+        stats = httpd.service.stats()
+        # 40 batches over 2 releases: everything after the 2 loads is a hit.
+        assert stats["misses"] == 2
+        assert stats["hits"] == 38

@@ -1,0 +1,156 @@
+"""SynopsisService: lazy loading, LRU bounds, and batch dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ReleaseStore, StoreError, SynopsisService
+
+from .conftest import QUERY_BOXES, QUERY_CODES, fit_release
+
+
+class TestCacheBehaviour:
+    def test_first_access_misses_then_hits(self, spatial_store):
+        store, ids = spatial_store
+        service = SynopsisService(store, cache_size=4)
+        service.query_many(ids[0], QUERY_BOXES)
+        service.query_many(ids[0], QUERY_BOXES)
+        assert service.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "resident": 1,
+        }
+
+    def test_lru_eviction_and_reload(self, spatial_store):
+        store, ids = spatial_store
+        service = SynopsisService(store, cache_size=2)
+        answers = {i: service.query_many(i, QUERY_BOXES) for i in ids}
+        # Three loads through a 2-slot cache: the first id was evicted.
+        assert service.stats()["evictions"] == 1
+        assert service.cached_ids() == [ids[1], ids[2]]
+        # Touching the evicted id is a fresh miss, with identical answers.
+        again = service.query_many(ids[0], QUERY_BOXES)
+        assert np.array_equal(again, answers[ids[0]])
+        assert service.stats()["misses"] == 4
+        assert service.cached_ids() == [ids[2], ids[0]]
+
+    def test_recency_updates_on_hit(self, spatial_store):
+        store, ids = spatial_store
+        service = SynopsisService(store, cache_size=2)
+        service.release(ids[0])
+        service.release(ids[1])
+        service.release(ids[0])  # refresh id 0 -> id 1 becomes LRU
+        service.release(ids[2])
+        assert service.cached_ids() == [ids[0], ids[2]]
+
+    def test_cache_size_zero_disables_caching(self, spatial_store):
+        store, ids = spatial_store
+        service = SynopsisService(store, cache_size=0)
+        service.query_many(ids[0], QUERY_BOXES)
+        service.query_many(ids[0], QUERY_BOXES)
+        assert service.stats() == {
+            "hits": 0,
+            "misses": 2,
+            "evictions": 0,
+            "resident": 0,
+        }
+
+    def test_negative_cache_size_rejected(self, store):
+        with pytest.raises(ValueError, match="cache_size"):
+            SynopsisService(store, cache_size=-1)
+
+    def test_unknown_id_propagates(self, store):
+        with pytest.raises(StoreError):
+            SynopsisService(store).query_many("nope", QUERY_BOXES)
+
+    def test_unknown_ids_do_not_grow_guard_table(self, store):
+        # Untrusted clients invent ids freely; a failed lookup must not
+        # leave a permanent per-id lock behind.
+        service = SynopsisService(store)
+        for i in range(5):
+            with pytest.raises(StoreError):
+                service.release(f"bogus-{i}")
+        assert len(service._load_locks) == 0
+
+
+class TestDispatch:
+    def test_spatial_answers_match_release(self, store, uniform_2d):
+        release, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        assert np.array_equal(
+            service.query_many(release_id, QUERY_BOXES),
+            release.query_many(QUERY_BOXES),
+        )
+
+    def test_sequence_answers_match_release(self, store, sequence_data):
+        release, _ = fit_release("pst", None, sequence_data)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        np.testing.assert_allclose(
+            service.query_many(release_id, QUERY_CODES),
+            release.query_many(QUERY_CODES),
+            rtol=1e-12,
+        )
+
+    def test_answer_batch_decodes_json_boxes(self, store, uniform_2d):
+        release, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        raw = [{"low": list(b.low), "high": list(b.high)} for b in QUERY_BOXES]
+        response = service.answer_batch(release_id, raw)
+        assert response["answers"] == [
+            float(v) for v in release.query_many(QUERY_BOXES)
+        ]
+        assert response["id"] == release_id
+        assert response["method"] == "privtree"
+        assert response["count"] == len(QUERY_BOXES)
+
+    def test_answer_batch_decodes_json_codes(self, store, sequence_data):
+        release, _ = fit_release("pst", None, sequence_data)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        assert service.answer_batch(release_id, QUERY_CODES)["answers"] == [
+            float(v) for v in release.query_many(QUERY_CODES)
+        ]
+
+    def test_malformed_query_names_index(self, store, uniform_2d):
+        release, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        good = {"low": [0.0, 0.0], "high": [0.5, 0.5]}
+        with pytest.raises(ValueError, match="query 1 is malformed"):
+            service.answer_batch(release_id, [good, {"low": [0.0, 0.0]}])
+        with pytest.raises(ValueError, match="boxes"):
+            service.answer_batch(release_id, [[0, 1]])
+
+    def test_concurrent_cold_loads_count_one_miss(self, spatial_store):
+        # N threads racing on the same cold id: one load, the rest wait on
+        # the per-id guard and resolve as hits.
+        import threading
+
+        store, ids = spatial_store
+        service = SynopsisService(store, cache_size=4)
+        results = []
+
+        def worker():
+            results.append(service.query_many(ids[0], QUERY_BOXES))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(results) == 6
+        assert all(np.array_equal(r, results[0]) for r in results)
+        stats = service.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 5
+
+    def test_warm_compiles_flat_engine_on_load(self, store, uniform_2d):
+        release, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        loaded = service.release(release_id)
+        # The cached tree already carries its compiled flat engine.
+        assert loaded.tree._flat is not None

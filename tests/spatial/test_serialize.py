@@ -67,3 +67,76 @@ class TestValidation:
         }
         with pytest.raises(ValueError):
             tree_from_dict(doc)
+
+
+def _doc(root):
+    return {"format": "repro.histogram_tree", "version": 1, "root": root}
+
+
+class TestMalformedDocuments:
+    """Untrusted artifacts (the HTTP service's input) must fail at load.
+
+    Regression: these documents used to load silently and only blow up —
+    or worse, answer garbage — inside the flat-engine query math.
+    """
+
+    def test_inverted_box_rejected(self):
+        root = {"low": [1.0, 0.0], "high": [0.0, 1.0], "count": 5.0}
+        with pytest.raises(ValueError, match="low must be < high"):
+            tree_from_dict(_doc(root))
+
+    def test_non_finite_coordinates_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            root = {"low": [0.0, 0.0], "high": [1.0, bad], "count": 5.0}
+            with pytest.raises(ValueError, match="non-finite box coordinate"):
+                tree_from_dict(_doc(root))
+
+    def test_non_finite_count_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            root = {"low": [0.0], "high": [1.0], "count": bad}
+            with pytest.raises(ValueError, match="non-finite node count"):
+                tree_from_dict(_doc(root))
+
+    def test_non_numeric_count_rejected(self):
+        root = {"low": [0.0], "high": [1.0], "count": "lots"}
+        with pytest.raises(ValueError, match="numeric 'count'"):
+            tree_from_dict(_doc(root))
+
+    def test_child_escaping_parent_rejected(self):
+        root = {
+            "low": [0.0, 0.0],
+            "high": [1.0, 1.0],
+            "count": 10.0,
+            "children": [
+                {"low": [0.0, 0.0], "high": [0.5, 1.0], "count": 4.0},
+                {"low": [0.5, 0.0], "high": [1.5, 1.0], "count": 6.0},
+            ],
+        }
+        with pytest.raises(ValueError, match="escapes its parent"):
+            tree_from_dict(_doc(root))
+
+    def test_child_dimension_mismatch_rejected(self):
+        root = {
+            "low": [0.0, 0.0],
+            "high": [1.0, 1.0],
+            "count": 10.0,
+            "children": [{"low": [0.0], "high": [0.5], "count": 4.0}],
+        }
+        with pytest.raises(ValueError, match="dims"):
+            tree_from_dict(_doc(root))
+
+    def test_missing_extents_rejected(self):
+        with pytest.raises(ValueError, match="low"):
+            tree_from_dict(_doc({"count": 1.0}))
+        with pytest.raises(ValueError, match="root"):
+            tree_from_dict({"format": "repro.histogram_tree", "version": 1})
+
+    def test_extent_length_mismatch_rejected(self):
+        root = {"low": [0.0, 0.0], "high": [1.0], "count": 1.0}
+        with pytest.raises(ValueError, match="dims"):
+            tree_from_dict(_doc(root))
+
+    def test_valid_nested_document_still_loads(self, uniform_2d):
+        doc = tree_to_dict(privtree_histogram(uniform_2d, epsilon=1.0, rng=0))
+        restored = tree_from_dict(json.loads(json.dumps(doc)))
+        assert restored.size >= 1
