@@ -7,9 +7,11 @@ Usage::
     python scripts/serve_smoke.py STORE_DIR [N_QUERIES]
 
 Starts ``repro serve`` as a subprocess on a free port, fires one batched
-range-count query (default 1000 boxes) at the first stored release, and
-exits non-zero unless every answer returned over HTTP is bit-identical to
-calling ``release.query_many`` on a local reload of the artifact.
+range-count query (default 1000 boxes) at the first stored release plus
+one typed mixed workload (range / point / marginal documents), and exits
+non-zero unless every answer returned over HTTP is bit-identical to
+calling ``release.query_many`` / ``release.answer`` on a local reload of
+the artifact.
 """
 
 from __future__ import annotations
@@ -53,12 +55,32 @@ def main(argv: list[str]) -> int:
         return 2
     release_id = ids[0]
     release = store.get(release_id)
-    boxes = generate_workload(release.tree.root.box, "medium", n_queries, rng=0)
+    from repro.domains import Box
+
+    if not isinstance(release.query_domain, Box):
+        print(
+            f"first stored release {release_id} is not spatial; "
+            "this smoke test drives range-count workloads"
+        )
+        return 2
+    boxes = generate_workload(release.query_domain, "medium", n_queries, rng=0)
     expected = release.query_many(boxes)
 
     port = _free_port()
+    # Prefer the installed console script; fall back to the current
+    # interpreter so the smoke test also runs from a source checkout.
+    import shutil
+
+    if shutil.which("repro"):
+        command = ["repro"]
+    else:
+        command = [
+            sys.executable,
+            "-c",
+            "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+        ]
     server = subprocess.Popen(
-        ["repro", "serve", "--store", store_dir, "--port", str(port), "--quiet"]
+        command + ["serve", "--store", store_dir, "--port", str(port), "--quiet"]
     )
     try:
         deadline = time.monotonic() + 30
@@ -94,6 +116,40 @@ def main(argv: list[str]) -> int:
         print(
             f"OK: {n_queries} served answers bit-identical to in-process "
             f"query_many for {release_id}"
+        )
+
+        # One typed workload through the same endpoint: range + point +
+        # marginal documents, checked against the in-process answer path.
+        from repro.queries import Marginal1D, PointCount, RangeCount, Workload
+
+        domain = release.query_domain
+        workload = Workload.of(
+            [RangeCount.of(b) for b in boxes[:8]]
+            + [PointCount(point=domain.center)]
+            + [Marginal1D.regular(0, 8, domain.low[0], domain.high[0])]
+        )
+        expected_flat = release.answer(workload)
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/releases/{release_id}/query",
+            data=json.dumps(
+                {"queries": [q.to_wire() for q in workload]}
+            ).encode("utf-8"),
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            served = json.loads(resp.read())["answers"]
+        flat = np.array(
+            [v for entry in served for v in (entry if isinstance(entry, list) else [entry])]
+        )
+        if not np.array_equal(flat, expected_flat):
+            worst = float(np.abs(flat - expected_flat).max())
+            print(
+                f"FAIL: typed workload answers deviate from in-process "
+                f"answer (max |delta| = {worst})"
+            )
+            return 1
+        print(
+            f"OK: typed workload ({len(workload)} queries, {flat.shape[0]} "
+            f"answers) bit-identical to in-process answer for {release_id}"
         )
         return 0
     finally:

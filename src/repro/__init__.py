@@ -27,8 +27,9 @@ The historical free functions (``privtree_histogram`` and friends) remain
 importable as deprecated shims that produce identical results.
 """
 
-from . import api, serve
+from . import api, queries, serve
 from .api import Estimator, Release, from_spec
+from .queries import Workload
 from .core import (
     DecompositionTree,
     PrivTreeParams,
@@ -52,7 +53,7 @@ from .spatial import (
     simpletree_histogram,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Alphabet",
@@ -67,6 +68,7 @@ __all__ = [
     "SequenceDataset",
     "SpatialDataset",
     "TreeNode",
+    "Workload",
     "api",
     "average_relative_error",
     "ensure_rng",
@@ -75,6 +77,7 @@ __all__ = [
     "private_pst",
     "privtree",
     "privtree_histogram",
+    "queries",
     "serve",
     "simpletree",
     "simpletree_histogram",

@@ -6,9 +6,11 @@ package makes that the programming model:
 * :class:`Estimator` — a configured method.  ``fit(dataset, *, accountant,
   rng)`` consumes privacy budget and returns a release.  Resolve one by
   name with :func:`from_spec` (see :mod:`repro.api.registry`).
-* :class:`Release` — the publishable artifact: uniform ``query(...)``,
-  ``size``, ``epsilon_spent``, and a ``to_json`` / :func:`release_from_json`
-  round-trip.
+* :class:`Release` — the publishable artifact: one vectorized
+  ``answer(workload)`` over the typed queries of :mod:`repro.queries`
+  (plus the legacy ``query(...)``/``query_many`` scalar surface), uniform
+  ``size``, ``epsilon_spent``, and a ``to_json`` /
+  :func:`release_from_json` round-trip.
 * ``registry`` — names like ``"privtree"``, ``"ug"``, ``"ag"``,
   ``"hierarchy"``, ``"dawa"``, ``"privelet"``, ``"kdtree"``,
   ``"simpletree"``, ``"ngram"``, ``"pst"`` mapped to estimator factories.

@@ -39,12 +39,14 @@ _RELEASE_KINDS: dict[str, type["Release"]] = {}
 class Release(abc.ABC):
     """A published differentially private artifact.
 
-    Uniform surface across workloads: ``query(...)`` answers the release's
-    native query type (range counts for spatial synopses, string
-    frequencies for sequence models), ``size`` counts released components,
-    ``epsilon_spent`` records the budget the artifact cost, and
-    ``to_json`` / :func:`release_from_json` round-trip the artifact through
-    a plain-JSON envelope.
+    Uniform surface across workloads: :meth:`answer` evaluates a typed
+    :class:`~repro.queries.Workload` in one vectorized dispatch (validated
+    against :attr:`query_domain`), ``query(...)``/``query_many`` keep the
+    legacy scalar surface (range counts for spatial synopses, string
+    frequencies for sequence models) with bit-identical results, ``size``
+    counts released components, ``epsilon_spent`` records the budget the
+    artifact cost, and ``to_json`` / :func:`release_from_json` round-trip
+    the artifact through a plain-JSON envelope.
     """
 
     #: Serialization tag; each concrete release declares a unique one.
@@ -69,15 +71,61 @@ class Release(abc.ABC):
 
     @abc.abstractmethod
     def query(self, *args: Any, **kwargs: Any) -> float:
-        """Answer the release's native query type."""
+        """Answer the release's native query type.
 
-    def query_many(self, queries: Any) -> Any:
-        """Answer a batch of native queries (a numpy vector of answers).
-
-        Subclasses with compiled batch engines override this; the default
-        loops over :meth:`query`.
+        Legacy scalar surface; prefer :meth:`answer` with a typed
+        :class:`~repro.queries.Workload` for batches.
         """
-        return np.array([self.query(q) for q in queries])
+
+    def query_many(self, queries: Any) -> np.ndarray:
+        """Answer a batch of native queries as a ``float64`` vector.
+
+        Legacy batch surface (see :meth:`answer` for the typed path).
+        Subclasses with compiled batch engines override this; the default
+        loops over :meth:`query` into a preallocated output.  Overrides
+        **must** return ``float64`` — the HTTP layer JSON-serializes
+        whatever dtype comes back, and only ``float64`` round-trips
+        losslessly through the wire.
+        """
+        queries = list(queries)
+        out = np.empty(len(queries), dtype=np.float64)
+        for i, q in enumerate(queries):
+            out[i] = self.query(q)
+        return out
+
+    @property
+    def query_domain(self) -> Any:
+        """The domain typed queries validate against.
+
+        A :class:`~repro.domains.Box` for spatial releases, an
+        :class:`~repro.sequence.Alphabet` for sequence releases.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a query domain"
+        )
+
+    def answer(self, workload: Any) -> np.ndarray:
+        """Answer a typed :class:`~repro.queries.Workload` in one dispatch.
+
+        ``workload`` may be a :class:`~repro.queries.Workload`, a single
+        :class:`~repro.queries.Query`, or a sequence of queries.  Every
+        query is validated against :attr:`query_domain`; the whole batch
+        is then compiled onto the release's batched engine (one vectorized
+        call per query family — no per-query Python loop for the flat
+        engines).  Returns one flat ``float64`` vector in workload order;
+        each query contributes ``result_size`` consecutive entries (1 for
+        the scalar types), so ``Workload.split`` recovers per-query
+        groups.
+        """
+        from ..queries.answer import answer_workload
+
+        return answer_workload(self, workload)
+
+    def supported_query_types(self) -> tuple[type, ...]:
+        """The :class:`~repro.queries.Query` classes this release answers."""
+        from ..queries.answer import supported_query_types
+
+        return supported_query_types(self)
 
     def warm(self) -> None:
         """Compile any lazy batch-query engines now (no-op by default).
@@ -130,10 +178,16 @@ def release_from_json(data: dict[str, Any]) -> Release:
     release_cls = _RELEASE_KINDS.get(kind)
     if release_cls is None:
         raise ValueError(f"unknown release kind {kind!r}")
+    # An untrusted document missing its provenance must fail loudly, like
+    # every other loader validation — a silently defaulted method="" /
+    # epsilon_spent=0.0 would misreport what the artifact is and cost.
+    for key in ("method", "epsilon_spent"):
+        if key not in data:
+            raise ValueError(f"release document is missing the {key!r} key")
     return release_cls._from_payload(
         data["payload"],
-        method=str(data.get("method", "")),
-        epsilon_spent=float(data.get("epsilon_spent", 0.0)),
+        method=str(data["method"]),
+        epsilon_spent=float(data["epsilon_spent"]),
     )
 
 

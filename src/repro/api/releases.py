@@ -36,7 +36,18 @@ __all__ = [
 
 
 class SpatialRelease(Release):
-    """Base of the spatial artifacts: ``query`` is a range count."""
+    """Base of the spatial artifacts: ``query`` is a range count.
+
+    Typed queries (:class:`~repro.queries.RangeCount`,
+    :class:`~repro.queries.PointCount`, :class:`~repro.queries.Marginal1D`)
+    all compile to boxes and answer through :meth:`range_count_many` via
+    :meth:`~repro.api.Release.answer`.
+    """
+
+    @property
+    def query_domain(self) -> Box:
+        """The released domain typed queries validate against."""
+        raise NotImplementedError
 
     def query(self, box: Box) -> float:
         """The noisy number of points inside ``box``."""
@@ -79,6 +90,10 @@ class SpatialTreeRelease(SpatialRelease):
     def height(self) -> int:
         """Height of the released tree."""
         return self.tree.height
+
+    @property
+    def query_domain(self) -> Box:
+        return self.tree.root.box
 
     def range_count(self, box: Box) -> float:
         # Answered by the compiled flat synopsis (cached on the tree); the
@@ -148,6 +163,10 @@ class GridRelease(SpatialRelease):
     def size(self) -> int:
         return self.grid.n_cells
 
+    @property
+    def query_domain(self) -> Box:
+        return self.grid.domain
+
     def range_count(self, box: Box) -> float:
         return self.grid.range_count(box)
 
@@ -183,6 +202,10 @@ class AdaptiveGridRelease(SpatialRelease):
     @property
     def size(self) -> int:
         return self.synopsis.n_cells
+
+    @property
+    def query_domain(self) -> Box:
+        return self.synopsis.level1.domain
 
     def range_count(self, box: Box) -> float:
         return self.synopsis.range_count(box)
@@ -235,6 +258,10 @@ class SequenceRelease(Release):
     def height(self) -> int:
         """Longest released context length."""
         return self.model.height
+
+    @property
+    def query_domain(self) -> Alphabet:
+        return self.model.alphabet
 
     def query(self, codes: Sequence[int]) -> float:
         """Estimated frequency of the coded string (flat engine; numerically
@@ -292,6 +319,10 @@ class NGramRelease(Release):
     @property
     def size(self) -> int:
         return len(self.model.counts)
+
+    @property
+    def query_domain(self) -> Alphabet:
+        return self.model.alphabet
 
     def query(self, codes: Sequence[int]) -> float:
         """Estimated frequency of the coded string."""

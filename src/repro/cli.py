@@ -4,6 +4,7 @@ Examples::
 
     repro run --method privtree --dataset road --epsilon 1.0 --out release.json
     repro run --method pst --dataset msnbc --param l_top=15
+    repro query --release release.json --workload workload.json --out answers.json
     repro methods
     repro store put --store synopses/ --method privtree --dataset gowalla
     repro store ls --store synopses/
@@ -86,6 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", default=None, help="write the release JSON here")
 
     sub.add_parser("methods", help="list the registered estimator methods")
+
+    query_p = sub.add_parser(
+        "query", help="answer a typed workload against a saved release"
+    )
+    query_p.add_argument(
+        "--release",
+        required=True,
+        help="release JSON file (from `repro run --out` or `repro store get --out`)",
+    )
+    query_p.add_argument(
+        "--workload",
+        required=True,
+        help='workload JSON document ({"format": "repro.workload", ...})',
+    )
+    query_p.add_argument(
+        "--out", default=None, help="write the answers JSON here"
+    )
 
     store = sub.add_parser("store", help="persist and inspect releases in a directory store")
     store_sub = store.add_subparsers(dest="store_command", required=True)
@@ -248,6 +266,60 @@ def _run_method(args: argparse.Namespace) -> str:
     if args.out:
         save_release(release, args.out)
         lines.append(f"release written to {args.out}")
+    return "\n".join(lines)
+
+
+def _run_query(args: argparse.Namespace) -> str:
+    from .api import load_release
+    from .queries import QueryDecodeError, QueryValidationError, workload_from_wire
+
+    try:
+        release = load_release(args.release)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot load release {args.release!r}: {exc}") from None
+    try:
+        with open(args.workload) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read workload {args.workload!r}: {exc}") from None
+    try:
+        workload = workload_from_wire(document)
+        flat = release.answer(workload)
+    except (QueryDecodeError, QueryValidationError) as exc:
+        raise SystemExit(f"invalid workload: {exc}") from None
+
+    answers = workload.group_answers(flat, release.query_domain)
+
+    lines = [
+        f"release  : {type(release).__name__} ({release.method}), size={release.size:,}",
+        f"workload : {len(workload)} queries "
+        f"[{', '.join(workload.type_tags)}], {flat.shape[0]} answers",
+    ]
+    preview = 20
+    for i, (query, answer) in enumerate(zip(workload, answers)):
+        if i == preview:
+            lines.append(f"  ... {len(workload) - preview} more (use --out)")
+            break
+        shown = (
+            "[" + ", ".join(f"{v:g}" for v in answer) + "]"
+            if isinstance(answer, list)
+            else f"{answer:g}"
+        )
+        lines.append(f"  {i:4d} {query.type_tag:24s} {shown}")
+    if args.out:
+        from ._io import atomic_write_text
+
+        atomic_write_text(
+            args.out,
+            json.dumps(
+                {
+                    "method": release.method,
+                    "count": len(answers),
+                    "answers": answers,
+                }
+            ),
+        )
+        lines.append(f"answers written to {args.out}")
     return "\n".join(lines)
 
 
@@ -429,6 +501,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_run_method(args))
     elif args.command == "methods":
         print(_run_methods())
+    elif args.command == "query":
+        print(_run_query(args))
     elif args.command == "store":
         print(_run_store(args))
     elif args.command == "serve":

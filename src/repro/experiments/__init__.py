@@ -7,6 +7,7 @@ from .results import (
     format_seconds,
 )
 from .sequence_tasks import (
+    run_frequency_error_experiment,
     run_length_distribution_experiment,
     run_ngram_height_ablation,
     run_topk_experiment,
@@ -41,6 +42,7 @@ __all__ = [
     "run_hierarchy_height_ablation",
     "run_length_distribution_experiment",
     "run_ngram_height_ablation",
+    "run_frequency_error_experiment",
     "run_perf_bench",
     "run_privtree_timing",
     "run_sequence_perf_bench",

@@ -47,12 +47,14 @@ from ..spatial.quadtree import _privtree_histogram
 from ..spatial.queries import generate_workload
 
 __all__ = [
+    "build_mixed_workload",
     "compare_bench_results",
     "reference_privtree_histogram",
     "reference_workload_answers",
     "run_perf_bench",
     "run_sequence_perf_bench",
     "run_service_perf_bench",
+    "scalar_query_loop",
     "write_bench_json",
 ]
 
@@ -162,6 +164,49 @@ def reference_privtree_histogram(
 def reference_workload_answers(tree: HistogramTree, queries) -> np.ndarray:
     """Per-query recursive traversal — the pre-optimization query path."""
     return np.array([tree.range_count(q) for q in queries])
+
+
+def build_mixed_workload(domain, boxes, n_queries: int, rng):
+    """A deterministic mixed-type spatial workload for the bench.
+
+    Cycles range / point / marginal queries: ranges reuse the generated
+    box workload, point probes land uniformly in the domain, and marginals
+    histogram random sub-intervals of alternating axes (4 bins each, so
+    the flat answer vector stays ~2x the query count).
+    """
+    from ..queries import Marginal1D, PointCount, RangeCount, Workload
+
+    gen = ensure_rng(rng)
+    d = domain.ndim
+    low = np.asarray(domain.low)
+    extents = np.asarray(domain.extents)
+    points = low + gen.uniform(0.0, 1.0, size=(n_queries, d)) * extents
+    spans = np.sort(gen.uniform(0.0, 1.0, size=(n_queries, 2)), axis=1)
+    queries = []
+    for i in range(n_queries):
+        kind = i % 3
+        if kind == 0:
+            queries.append(RangeCount.of(boxes[i % len(boxes)]))
+        elif kind == 1:
+            queries.append(PointCount(point=tuple(points[i])))
+        else:
+            axis = i % d
+            lo = float(low[axis] + spans[i, 0] * extents[axis])
+            hi = float(low[axis] + spans[i, 1] * extents[axis])
+            if not lo < hi:  # degenerate random span: fall back to the axis
+                lo, hi = float(low[axis]), float(low[axis] + extents[axis])
+            queries.append(Marginal1D.regular(axis, 4, lo, hi))
+    return Workload.of(queries)
+
+
+def scalar_query_loop(release, workload) -> np.ndarray:
+    """The pre-redesign answer path: one scalar ``query`` call per box."""
+    domain = release.query_domain
+    out = []
+    for query in workload:
+        for box in query.to_boxes(domain):
+            out.append(release.query(box))
+    return np.asarray(out)
 
 
 
@@ -387,6 +432,7 @@ def run_perf_bench(
     rng: int = 0,
     n_sequences: int = 200_000,
     n_synthetic: int = 20_000,
+    n_mixed_queries: int = 10_000,
 ) -> dict:
     """Time the optimized vs. reference spatial *and* sequence hot paths.
 
@@ -430,6 +476,22 @@ def run_perf_bench(
         synopsis, queries, epsilon=epsilon, repeats=repeats
     )
 
+    # The typed query surface: a mixed range/point/marginal workload
+    # through one `release.answer` dispatch vs. the scalar `query` loop
+    # over the same compiled boxes — answers must agree bit-for-bit.
+    from ..api.releases import SpatialTreeRelease
+
+    release = SpatialTreeRelease(synopsis, method="privtree", epsilon_spent=epsilon)
+    mixed = build_mixed_workload(data.domain, queries, n_mixed_queries, rng + 2)
+    answer_s, typed_answers = _best_of(repeats, lambda: release.answer(mixed))
+    scalar_s, scalar_answers = _best_of(
+        repeats, lambda: scalar_query_loop(release, mixed)
+    )
+    if not np.array_equal(typed_answers, scalar_answers):
+        raise AssertionError(
+            "typed workload answers deviate from the scalar query loop"
+        )
+
     sequence = run_sequence_perf_bench(
         n_sequences=n_sequences,
         n_synthetic=n_synthetic,
@@ -469,6 +531,15 @@ def run_perf_bench(
             },
             "workload_generation": {
                 "optimized_s": workload_s,
+            },
+            "workload_answering": {
+                "workload": (
+                    f"{n_mixed_queries:,} mixed range/point/marginal queries"
+                ),
+                "optimized_s": answer_s,
+                "reference_s": scalar_s,
+                "speedup": scalar_s / answer_s,
+                "n_answers": int(typed_answers.shape[0]),
             },
             "service_cached_queries": service_case,
             **sequence["cases"],

@@ -2,7 +2,10 @@
 
 Each experiment sweeps the privacy budget ε (the paper's x-axis), builds
 every method's synopsis ``n_reps`` times with independent noise, and
-reports the mean average relative error over a fixed query workload.
+reports the mean average relative error over a fixed typed
+:class:`~repro.queries.Workload` — the same workload object, answer path
+(``release.answer``), and scoring (:mod:`repro.queries.metrics`) the
+serving layer uses.
 """
 
 from __future__ import annotations
@@ -14,8 +17,8 @@ import numpy as np
 from ..api import registry
 from ..datasets.registry import SPATIAL_DATASETS
 from ..mechanisms.rng import RngLike, ensure_rng, spawn
+from ..queries import SMOOTHING_FRACTION, Workload, workload_error
 from ..spatial.dataset import SpatialDataset
-from ..spatial.metrics import SMOOTHING_FRACTION, workload_error
 from ..spatial.queries import QUERY_BANDS, generate_workload
 from .results import SweepResult
 
@@ -77,10 +80,11 @@ def _sweep(
     rng: RngLike,
 ) -> SweepResult:
     gen = ensure_rng(rng)
-    queries = generate_workload(dataset.domain, QUERY_BANDS[band], n_queries, gen)
+    boxes = generate_workload(dataset.domain, QUERY_BANDS[band], n_queries, gen)
+    workload = Workload.ranges(boxes)
     # The exact workload answers do not depend on the method, budget, or
     # repetition: compute them once, vectorized, for the whole sweep.
-    exacts = dataset.count_in_many(queries)
+    exacts = dataset.count_in_many(boxes)
     smoothing = SMOOTHING_FRACTION * dataset.n
     result = SweepResult(title=title, row_label="epsilon", rows=list(epsilons), columns=[])
     for name, builder in methods.items():
@@ -89,7 +93,7 @@ def _sweep(
             errors = []
             for rep_rng in spawn(ensure_rng(gen.integers(2**32)), n_reps):
                 synopsis = builder(dataset, eps, rep_rng)
-                errors.append(workload_error(synopsis, queries, exacts, smoothing))
+                errors.append(workload_error(synopsis, workload, exacts, smoothing))
             column.append(float(np.mean(errors)))
         result.add_column(name, column)
     return result

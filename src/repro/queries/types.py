@@ -1,0 +1,518 @@
+"""First-class query types: the six questions a release can answer.
+
+The paper evaluates synopses on *workloads* — batches of range-count
+queries for spatial decompositions (§6.1), string-frequency lookups for
+the sequence variant (§6.2).  This module makes those workload elements
+typed, validated, versioned values instead of raw boxes and code lists:
+
+Spatial (answered from the box geometry of the released decomposition):
+
+* :class:`RangeCount` — how many points fall in an axis-aligned box.
+* :class:`PointCount` — how many points fall in a small probe cell
+  centred on a location (a "how busy is it right here" query).
+* :class:`Marginal1D` — an axis-aligned interval histogram: one count
+  per ``[edges[i], edges[i+1])`` slab along one axis, full extent in
+  every other dimension.
+
+Sequence (answered from the released Markov model):
+
+* :class:`StringFrequency` — the Equation (12) estimate of how often a
+  string occurs in the input.
+* :class:`PrefixCount` — how many input *sequences start with* a string
+  (the Equation (12) chain anchored at the ``$`` start sentinel).
+* :class:`NextSymbolDistribution` — ``P(· | context)`` over ``I ∪ {&}``,
+  the model's one-step predictive distribution.
+
+Every query is a frozen dataclass: structural invariants (finiteness,
+ordering, shapes) are checked at construction, while release-specific
+invariants are checked by ``validate(domain)`` against the release's
+:attr:`~repro.api.Release.query_domain` (a :class:`~repro.domains.Box`
+for spatial releases, an :class:`~repro.sequence.Alphabet` for sequence
+releases).  ``result_size(domain)`` gives the number of scalar answers
+the query contributes to a flat answer vector (1 for the scalar types,
+``n_bins`` for marginals, ``hist_size`` for next-symbol rows).
+
+Wire serialization (``to_wire`` / ``query_from_wire``) lives in
+:mod:`repro.queries.wire`; batch compilation and dispatch in
+:mod:`repro.queries.answer`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+import numpy as np
+
+from ..domains.box import Box
+from ..sequence.alphabet import Alphabet
+
+__all__ = [
+    "Marginal1D",
+    "NextSymbolDistribution",
+    "PointCount",
+    "PrefixCount",
+    "Query",
+    "QueryValidationError",
+    "RangeCount",
+    "StringFrequency",
+    "query_type_registry",
+]
+
+#: Side length of a :class:`PointCount` probe cell, as a fraction of the
+#: domain extent per dimension (the default "right here" resolution).
+DEFAULT_CELL_FRACTION = 1.0 / 1024.0
+
+#: type tag -> Query subclass, populated by ``Query.__init_subclass__``.
+_QUERY_TYPES: dict[str, type["Query"]] = {}
+
+
+class QueryValidationError(ValueError):
+    """A query failed structural or domain validation.
+
+    ``index`` is the offending position within a workload (``None`` for a
+    standalone query), so batch front-ends can report which entry failed.
+    """
+
+    def __init__(self, message: str, *, index: int | None = None) -> None:
+        super().__init__(message)
+        self.index = index
+
+
+def query_type_registry() -> dict[str, type["Query"]]:
+    """Wire type tag -> query class, for codec dispatch and introspection."""
+    return dict(_QUERY_TYPES)
+
+
+def _finite_floats(values: Any, label: str) -> tuple[float, ...]:
+    """Coerce to a tuple of finite floats or raise with the field name."""
+    try:
+        out = tuple(float(v) for v in values)
+    except (TypeError, ValueError) as exc:
+        raise QueryValidationError(f"{label} must be a sequence of numbers ({exc})")
+    if not out:
+        raise QueryValidationError(f"{label} must be non-empty")
+    if not all(math.isfinite(v) for v in out):
+        raise QueryValidationError(f"{label} must contain only finite values")
+    return out
+
+
+def _code_tuple(values: Any, label: str) -> tuple[int, ...]:
+    """Coerce to a tuple of non-negative ints or raise with the field name."""
+    if isinstance(values, (str, bytes)):
+        # Iterating "12" would silently yield codes [1, 2].
+        raise QueryValidationError(f"{label} must be a list of symbol codes, not a string")
+    try:
+        out = tuple(int(v) for v in values)
+    except (TypeError, ValueError) as exc:
+        raise QueryValidationError(f"{label} must be a sequence of integers ({exc})")
+    if any(c < 0 for c in out):
+        raise QueryValidationError(f"{label} must contain non-negative symbol codes")
+    return out
+
+
+def _require_box(domain: Any, query: "Query") -> Box:
+    if not isinstance(domain, Box):
+        raise QueryValidationError(
+            f"{type(query).__name__} is a spatial query; it validates against a "
+            f"Box domain, got {type(domain).__name__}"
+        )
+    return domain
+
+
+def _require_alphabet(domain: Any, query: "Query") -> Alphabet:
+    if not isinstance(domain, Alphabet):
+        raise QueryValidationError(
+            f"{type(query).__name__} is a sequence query; it validates against an "
+            f"Alphabet domain, got {type(domain).__name__}"
+        )
+    return domain
+
+
+class Query(abc.ABC):
+    """A typed, validated question answerable by a released synopsis."""
+
+    #: Wire tag (``"range_count"``, ...); unique per concrete query type.
+    type_tag: ClassVar[str] = ""
+    #: Input family the query applies to: ``"spatial"`` or ``"sequence"``.
+    family: ClassVar[str] = ""
+    #: Whether the answer is a vector (histogram/distribution) rather than
+    #: a scalar — wire responses encode vector answers as JSON lists.
+    vector_result: ClassVar[bool] = False
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.type_tag:
+            existing = _QUERY_TYPES.get(cls.type_tag)
+            if existing is not None and existing is not cls:
+                raise ValueError(f"duplicate query type tag {cls.type_tag!r}")
+            _QUERY_TYPES[cls.type_tag] = cls
+
+    @abc.abstractmethod
+    def validate(self, domain: Any) -> None:
+        """Check the query against a release's ``query_domain``.
+
+        Raises :class:`QueryValidationError` when the query cannot be
+        answered over ``domain`` (wrong dimensionality, out-of-alphabet
+        codes, ...).  Structural invariants are already enforced at
+        construction; this adds only the domain-dependent checks.
+        """
+
+    def result_size(self, domain: Any) -> int:
+        """Number of scalar answers this query contributes (default 1)."""
+        return 1
+
+    @abc.abstractmethod
+    def _wire_payload(self) -> dict[str, Any]:
+        """The type-specific fields of the wire form."""
+
+    @classmethod
+    @abc.abstractmethod
+    def _from_wire_payload(cls, data: dict[str, Any]) -> "Query":
+        """Inverse of :meth:`_wire_payload`."""
+
+    def to_wire(self) -> dict[str, Any]:
+        """The versioned plain-JSON wire form (see :mod:`repro.queries.wire`)."""
+        from .wire import WIRE_FORMAT, WIRE_VERSION
+
+        return {
+            "format": WIRE_FORMAT,
+            "version": WIRE_VERSION,
+            "type": self.type_tag,
+            **self._wire_payload(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Spatial queries
+# ----------------------------------------------------------------------
+
+
+class SpatialQuery(Query):
+    """Base of the box-geometry queries; compiles to one or more boxes."""
+
+    family = "spatial"
+
+    @abc.abstractmethod
+    def to_boxes(self, domain: Box) -> list[Box]:
+        """The range-count boxes whose answers make up this query's answer.
+
+        The returned boxes are answered in order by the release's batched
+        range-count engine; ``result_size`` boxes come back per query.
+        """
+
+
+@dataclass(frozen=True)
+class RangeCount(SpatialQuery):
+    """How many points fall inside the axis-aligned box ``[low, high)``."""
+
+    low: tuple[float, ...]
+    high: tuple[float, ...]
+
+    type_tag: ClassVar[str] = "range_count"
+
+    def __post_init__(self) -> None:
+        low = _finite_floats(self.low, "low")
+        high = _finite_floats(self.high, "high")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+        if len(low) != len(high):
+            raise QueryValidationError(
+                f"low has {len(low)} dims but high has {len(high)}"
+            )
+        for lo, hi in zip(low, high):
+            if not lo < hi:
+                raise QueryValidationError(f"degenerate extent [{lo}, {hi})")
+
+    @staticmethod
+    def of(box: Box) -> "RangeCount":
+        """The range-count query for an existing :class:`Box`."""
+        return RangeCount(low=box.low, high=box.high)
+
+    @property
+    def box(self) -> Box:
+        """The query region as a :class:`Box`."""
+        return Box(self.low, self.high)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.low)
+
+    def validate(self, domain: Any) -> None:
+        box = _require_box(domain, self)
+        if self.ndim != box.ndim:
+            raise QueryValidationError(
+                f"query has {self.ndim} dims but the release domain has {box.ndim}"
+            )
+
+    def to_boxes(self, domain: Box) -> list[Box]:
+        return [self.box]
+
+    def _wire_payload(self) -> dict[str, Any]:
+        return {"low": list(self.low), "high": list(self.high)}
+
+    @classmethod
+    def _from_wire_payload(cls, data: dict[str, Any]) -> "RangeCount":
+        return cls(low=tuple(data["low"]), high=tuple(data["high"]))
+
+
+@dataclass(frozen=True)
+class PointCount(SpatialQuery):
+    """How many points fall in a small probe cell centred on ``point``.
+
+    The probe cell's side along dimension ``d`` is ``cell_fraction`` of
+    the release domain's extent along ``d``, clipped to the domain, so
+    ``PointCount(p)`` equals the :class:`RangeCount` of that cell — a
+    well-defined "estimated count right here" under the §2.2 uniformity
+    assumption regardless of how the release partitions space.
+    """
+
+    point: tuple[float, ...]
+    cell_fraction: float = DEFAULT_CELL_FRACTION
+
+    type_tag: ClassVar[str] = "point_count"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "point", _finite_floats(self.point, "point"))
+        fraction = float(self.cell_fraction)
+        if not (math.isfinite(fraction) and 0.0 < fraction <= 1.0):
+            raise QueryValidationError(
+                f"cell_fraction must be in (0, 1], got {self.cell_fraction!r}"
+            )
+        object.__setattr__(self, "cell_fraction", fraction)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.point)
+
+    def validate(self, domain: Any) -> None:
+        box = _require_box(domain, self)
+        if self.ndim != box.ndim:
+            raise QueryValidationError(
+                f"query has {self.ndim} dims but the release domain has {box.ndim}"
+            )
+        for p, lo, hi in zip(self.point, box.low, box.high):
+            if not lo <= p <= hi:
+                raise QueryValidationError(
+                    f"point coordinate {p} outside the release domain [{lo}, {hi}]"
+                )
+
+    def to_boxes(self, domain: Box) -> list[Box]:
+        half = np.asarray(domain.extents) * (self.cell_fraction / 2.0)
+        point = np.asarray(self.point)
+        low = np.maximum(point - half, domain.low)
+        high = np.minimum(point + half, domain.high)
+        collapsed = ~(low < high)
+        if collapsed.any():
+            # Float-resolution guard: at coordinates much larger than the
+            # probe size, point ± half rounds back onto the point.  Fall
+            # back to the smallest representable box around the point,
+            # kept inside the domain (which always spans at least one ulp).
+            p = point[collapsed]
+            dom_lo = np.asarray(domain.low)[collapsed]
+            dom_hi = np.asarray(domain.high)[collapsed]
+            hi = np.minimum(np.nextafter(p, np.inf), dom_hi)
+            lo = np.maximum(np.minimum(p, np.nextafter(hi, -np.inf)), dom_lo)
+            high[collapsed] = hi
+            low[collapsed] = lo
+        return [Box.from_arrays(low, high)]
+
+    def _wire_payload(self) -> dict[str, Any]:
+        return {"point": list(self.point), "cell_fraction": self.cell_fraction}
+
+    @classmethod
+    def _from_wire_payload(cls, data: dict[str, Any]) -> "PointCount":
+        return cls(
+            point=tuple(data["point"]),
+            cell_fraction=data.get("cell_fraction", DEFAULT_CELL_FRACTION),
+        )
+
+
+@dataclass(frozen=True)
+class Marginal1D(SpatialQuery):
+    """An interval histogram along one axis (a 1-d marginal of the data).
+
+    Bin ``i`` counts the points whose coordinate along ``axis`` falls in
+    ``[edges[i], edges[i+1])``, with full domain extent in every other
+    dimension — ``len(edges) - 1`` scalar answers per query.
+    """
+
+    axis: int
+    edges: tuple[float, ...]
+
+    type_tag: ClassVar[str] = "marginal1d"
+    vector_result: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        axis = int(self.axis)
+        if axis < 0:
+            raise QueryValidationError(f"axis must be >= 0, got {self.axis!r}")
+        object.__setattr__(self, "axis", axis)
+        edges = _finite_floats(self.edges, "edges")
+        object.__setattr__(self, "edges", edges)
+        if len(edges) < 2:
+            raise QueryValidationError("edges must contain at least two boundaries")
+        if any(a >= b for a, b in zip(edges, edges[1:])):
+            raise QueryValidationError("edges must be strictly increasing")
+
+    @staticmethod
+    def regular(axis: int, n_bins: int, low: float, high: float) -> "Marginal1D":
+        """A marginal with ``n_bins`` equal-width bins over ``[low, high)``."""
+        if n_bins < 1:
+            raise QueryValidationError(f"n_bins must be >= 1, got {n_bins!r}")
+        return Marginal1D(axis=axis, edges=tuple(np.linspace(low, high, n_bins + 1)))
+
+    @property
+    def n_bins(self) -> int:
+        """Number of histogram bins (scalar answers) this query yields."""
+        return len(self.edges) - 1
+
+    def validate(self, domain: Any) -> None:
+        box = _require_box(domain, self)
+        if self.axis >= box.ndim:
+            raise QueryValidationError(
+                f"axis {self.axis} out of range for a {box.ndim}-d release domain"
+            )
+
+    def result_size(self, domain: Any) -> int:
+        return self.n_bins
+
+    def to_boxes(self, domain: Box) -> list[Box]:
+        boxes = []
+        for lo, hi in zip(self.edges, self.edges[1:]):
+            low = list(domain.low)
+            high = list(domain.high)
+            low[self.axis] = lo
+            high[self.axis] = hi
+            boxes.append(Box(tuple(low), tuple(high)))
+        return boxes
+
+    def _wire_payload(self) -> dict[str, Any]:
+        return {"axis": self.axis, "edges": list(self.edges)}
+
+    @classmethod
+    def _from_wire_payload(cls, data: dict[str, Any]) -> "Marginal1D":
+        return cls(axis=data["axis"], edges=tuple(data["edges"]))
+
+
+# ----------------------------------------------------------------------
+# Sequence queries
+# ----------------------------------------------------------------------
+
+
+class SequenceQuery(Query):
+    """Base of the Markov-model queries over coded symbol strings."""
+
+    family = "sequence"
+
+
+@dataclass(frozen=True)
+class _CodesQuery(SequenceQuery):
+    """Shared body of the queries keyed by a non-empty plain-symbol string.
+
+    Dataclass equality still distinguishes the concrete types (``__eq__``
+    compares classes), so a :class:`StringFrequency` never equals a
+    :class:`PrefixCount` with the same codes.
+    """
+
+    codes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        codes = _code_tuple(self.codes, "codes")
+        if not codes:
+            raise QueryValidationError("codes must be non-empty")
+        object.__setattr__(self, "codes", codes)
+
+    def validate(self, domain: Any) -> None:
+        alphabet = _require_alphabet(domain, self)
+        for c in self.codes:
+            if c >= alphabet.size:
+                raise QueryValidationError(
+                    f"symbol code {c} outside the release alphabet "
+                    f"(size {alphabet.size}; sentinels are not queryable)"
+                )
+
+    def _wire_payload(self) -> dict[str, Any]:
+        return {"codes": list(self.codes)}
+
+    @classmethod
+    def _from_wire_payload(cls, data: dict[str, Any]) -> "_CodesQuery":
+        return cls(codes=tuple(data["codes"]))
+
+
+@dataclass(frozen=True)
+class StringFrequency(_CodesQuery):
+    """Estimated number of occurrences of a string (Equation (12)).
+
+    ``codes`` are plain symbol codes (no sentinels); the estimate counts
+    occurrences anywhere within the input sequences.
+    """
+
+    type_tag: ClassVar[str] = "string_frequency"
+
+
+@dataclass(frozen=True)
+class PrefixCount(_CodesQuery):
+    """Estimated number of input sequences that *start with* a string.
+
+    The Equation (12) chain anchored at the ``$`` start sentinel: the
+    first factor is the ``$``-context histogram's count of ``codes[0]``
+    (how many sequences open with that symbol), and each further symbol
+    multiplies by ``P(codes[i] | $ codes[:i])`` from the longest released
+    context.  Supported only by releases that actually model sequence
+    starts: the n-gram baseline has no ``$`` statistics and rejects it,
+    and so does a PST whose released tree never split on the start
+    sentinel (check ``release.supported_query_types()``).
+    """
+
+    type_tag: ClassVar[str] = "prefix_count"
+
+
+@dataclass(frozen=True)
+class NextSymbolDistribution(SequenceQuery):
+    """The model's one-step predictive distribution ``P(· | context)``.
+
+    Returns ``hist_size`` probabilities over ``I ∪ {&}`` (ordinary symbols
+    plus the end marker), resolved from the longest released suffix of
+    ``context``.  An empty context asks for the unconditional next-symbol
+    law; ``anchored=True`` prepends the ``$`` start sentinel, conditioning
+    on the context being the *whole* sequence so far.  Anchoring is
+    PST-only (the n-gram baseline has no ``$`` statistics and rejects it)
+    and resolves by the PST's native longest-suffix backoff: when no
+    released context includes the sentinel, the answer equals the
+    unanchored lookup.
+    """
+
+    context: tuple[int, ...] = ()
+    anchored: bool = False
+
+    type_tag: ClassVar[str] = "next_symbol_distribution"
+    vector_result: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "context", _code_tuple(self.context, "context"))
+        object.__setattr__(self, "anchored", bool(self.anchored))
+
+    def validate(self, domain: Any) -> None:
+        alphabet = _require_alphabet(domain, self)
+        for c in self.context:
+            if c >= alphabet.size:
+                raise QueryValidationError(
+                    f"context code {c} outside the release alphabet "
+                    f"(size {alphabet.size}; sentinels are not queryable)"
+                )
+
+    def result_size(self, domain: Any) -> int:
+        return _require_alphabet(domain, self).hist_size
+
+    def _wire_payload(self) -> dict[str, Any]:
+        return {"context": list(self.context), "anchored": self.anchored}
+
+    @classmethod
+    def _from_wire_payload(cls, data: dict[str, Any]) -> "NextSymbolDistribution":
+        return cls(
+            context=tuple(data.get("context", ())),
+            anchored=data.get("anchored", False),
+        )

@@ -1,0 +1,168 @@
+"""The versioned plain-JSON wire codec for queries and workloads.
+
+A single query travels as::
+
+    {"format": "repro.query", "version": 1, "type": "range_count",
+     "low": [0.1, 0.2], "high": [0.4, 0.5]}
+
+and a workload as::
+
+    {"format": "repro.workload", "version": 1, "queries": [<query>, ...]}
+
+:func:`decode_query_batch` is the serving layer's single entry point: it
+accepts a mixed list of typed wire queries and the legacy raw forms
+(``{"low": ..., "high": ...}`` boxes and bare symbol-code lists — kept
+for one deprecation cycle, decoded to :class:`~repro.queries.RangeCount`
+/ :class:`~repro.queries.StringFrequency` with a
+:class:`DeprecationWarning`), and reports malformed entries with the
+offending batch index so HTTP clients get a structured 400.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Sequence
+
+from .types import (
+    Query,
+    QueryValidationError,
+    RangeCount,
+    StringFrequency,
+    query_type_registry,
+)
+from .workload import Workload
+
+__all__ = [
+    "QueryDecodeError",
+    "WIRE_FORMAT",
+    "WIRE_VERSION",
+    "WORKLOAD_FORMAT",
+    "decode_query_batch",
+    "query_from_wire",
+    "workload_from_wire",
+]
+
+WIRE_FORMAT = "repro.query"
+WORKLOAD_FORMAT = "repro.workload"
+WIRE_VERSION = 1
+
+_LEGACY_DEPRECATION = (
+    "raw query batches (bare boxes / code lists) are deprecated; send typed "
+    '{"format": "repro.query", ...} documents instead'
+)
+
+
+class QueryDecodeError(ValueError):
+    """A query document failed to decode or validate.
+
+    ``index`` is the offending position within the submitted batch (or
+    ``None`` for a standalone document), so front-ends can return a
+    structured error instead of an opaque whole-batch failure.
+    """
+
+    def __init__(self, message: str, *, index: int | None = None) -> None:
+        super().__init__(message)
+        self.index = index
+
+
+def query_from_wire(data: Any) -> Query:
+    """Rebuild one typed query from its ``to_wire`` document."""
+    if not isinstance(data, dict):
+        raise QueryDecodeError(
+            f"a query document must be a JSON object, got {type(data).__name__}"
+        )
+    if data.get("format") != WIRE_FORMAT:
+        raise QueryDecodeError(f"not a query document: format={data.get('format')!r}")
+    version = data.get("version")
+    if version != WIRE_VERSION:
+        raise QueryDecodeError(f"unsupported query version {version!r}")
+    tag = data.get("type")
+    if not isinstance(tag, str):
+        raise QueryDecodeError(f"query type must be a string, got {tag!r}")
+    query_cls = query_type_registry().get(tag)
+    if query_cls is None:
+        known = ", ".join(sorted(query_type_registry()))
+        raise QueryDecodeError(f"unknown query type {tag!r}; known types: {known}")
+    try:
+        return query_cls._from_wire_payload(data)
+    except QueryValidationError as exc:
+        raise QueryDecodeError(f"invalid {tag} query: {exc}") from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise QueryDecodeError(f"malformed {tag} query document ({exc})") from None
+
+
+def workload_from_wire(data: Any) -> Workload:
+    """Rebuild a :class:`Workload` from its ``to_wire`` document."""
+    if not isinstance(data, dict):
+        raise QueryDecodeError(
+            f"a workload document must be a JSON object, got {type(data).__name__}"
+        )
+    if data.get("format") != WORKLOAD_FORMAT:
+        raise QueryDecodeError(
+            f"not a workload document: format={data.get('format')!r}"
+        )
+    version = data.get("version")
+    if version != WIRE_VERSION:
+        raise QueryDecodeError(f"unsupported workload version {version!r}")
+    entries = data.get("queries")
+    if not isinstance(entries, list):
+        raise QueryDecodeError('a workload document needs a "queries" list')
+    queries = []
+    for i, entry in enumerate(entries):
+        try:
+            queries.append(query_from_wire(entry))
+        except QueryDecodeError as exc:
+            raise QueryDecodeError(f"workload query {i}: {exc}", index=i) from None
+    return Workload(tuple(queries))
+
+
+def _decode_legacy(raw: Any, spatial: bool) -> Query:
+    """One legacy raw entry -> typed query (box dict or bare code list)."""
+    if spatial:
+        if not isinstance(raw, dict):
+            raise QueryDecodeError(
+                'a raw spatial query must be a {"low": [...], "high": [...]} box'
+            )
+        return RangeCount(low=tuple(raw["low"]), high=tuple(raw["high"]))
+    if isinstance(raw, (str, bytes)):
+        # Iterating "12" would silently yield codes [1, 2].
+        raise QueryDecodeError("a string is not a code list")
+    return StringFrequency(codes=tuple(raw))
+
+
+def decode_query_batch(raw_queries: Sequence[Any], *, spatial: bool) -> Workload:
+    """Decode a mixed typed/legacy JSON batch into a :class:`Workload`.
+
+    Entries carrying ``{"format": "repro.query", ...}`` decode through
+    :func:`query_from_wire`; anything else is treated as the legacy raw
+    form for the release's family (boxes when ``spatial``, code lists
+    otherwise) and triggers one :class:`DeprecationWarning` per batch.
+    Legacy entries decode to the scalar query types, so their answers
+    stay bare floats, bit-identical to the historical wire.  Raises
+    :class:`QueryDecodeError` with the offending index on the first
+    malformed entry.
+    """
+    queries: list[Query] = []
+    warned = False
+    for i, raw in enumerate(raw_queries):
+        is_typed = isinstance(raw, dict) and raw.get("format") == WIRE_FORMAT
+        try:
+            if is_typed:
+                queries.append(query_from_wire(raw))
+            else:
+                if not warned:
+                    warnings.warn(_LEGACY_DEPRECATION, DeprecationWarning, stacklevel=2)
+                    warned = True
+                queries.append(_decode_legacy(raw, spatial))
+        except (KeyError, TypeError, ValueError) as exc:
+            expected = (
+                '{"low": [...], "high": [...]} boxes'
+                if spatial
+                else "lists of integer symbol codes"
+            )
+            raise QueryDecodeError(
+                f"query {i} is malformed ({exc}); this release answers {expected} "
+                f'or typed {{"format": "{WIRE_FORMAT}", ...}} documents',
+                index=i,
+            ) from None
+    return Workload(tuple(queries))

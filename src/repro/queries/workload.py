@@ -1,0 +1,178 @@
+"""The :class:`Workload` container: an ordered batch of typed queries.
+
+A workload is what the paper's evaluation actually measures — a batch of
+queries answered together.  The container keeps query order, validates
+every element against a release domain in one pass, and compiles
+homogeneous runs into the contiguous encodings the flat engines consume
+(see :mod:`repro.queries.answer`), so ``release.answer(workload)`` is one
+vectorized dispatch instead of N scalar calls.
+
+Answers come back as one flat ``float64`` vector — each query contributes
+``result_size(domain)`` consecutive entries (1 for scalar queries,
+``n_bins`` for marginals, ``hist_size`` for next-symbol rows); use
+:meth:`Workload.split` to recover the per-query groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..domains.box import Box
+from .types import Query, QueryValidationError, RangeCount, StringFrequency
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered, immutable batch of typed queries."""
+
+    queries: tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        queries = tuple(self.queries)
+        for i, query in enumerate(queries):
+            if not isinstance(query, Query):
+                raise TypeError(
+                    f"workload element {i} is {type(query).__name__}, not a Query"
+                )
+        object.__setattr__(self, "queries", queries)
+
+    # -- construction ---------------------------------------------------
+
+    @staticmethod
+    def of(queries: Sequence[Query]) -> "Workload":
+        """A workload from any sequence of typed queries."""
+        return Workload(tuple(queries))
+
+    @staticmethod
+    def ranges(boxes: Sequence[Box]) -> "Workload":
+        """The classic spatial workload: one :class:`RangeCount` per box.
+
+        The direct migration of ``release.query_many(boxes)``:
+        ``release.answer(Workload.ranges(boxes))`` returns the same
+        floats in the same order.
+        """
+        return Workload(tuple(RangeCount.of(box) for box in boxes))
+
+    @staticmethod
+    def strings(code_lists: Sequence[Sequence[int]]) -> "Workload":
+        """The classic sequence workload: one :class:`StringFrequency` per
+        coded string (the migration of ``query_many(code_lists)``)."""
+        return Workload(tuple(StringFrequency(codes=tuple(c)) for c in code_lists))
+
+    @staticmethod
+    def coerce(value: Any) -> "Workload":
+        """A workload from a workload, a single query, or a query sequence."""
+        if isinstance(value, Workload):
+            return value
+        if isinstance(value, Query):
+            return Workload((value,))
+        return Workload.of(tuple(value))
+
+    # -- container protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self.queries[index]
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def type_tags(self) -> tuple[str, ...]:
+        """The distinct query type tags present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for query in self.queries:
+            seen.setdefault(query.type_tag, None)
+        return tuple(seen)
+
+    @property
+    def families(self) -> tuple[str, ...]:
+        """The input families present (``"spatial"`` / ``"sequence"``)."""
+        seen: dict[str, None] = {}
+        for query in self.queries:
+            seen.setdefault(query.family, None)
+        return tuple(seen)
+
+    def validate(self, domain: Any) -> None:
+        """Validate every query against a release domain.
+
+        Raises :class:`~repro.queries.QueryValidationError` naming the
+        first offending query's position.
+        """
+        for i, query in enumerate(self.queries):
+            try:
+                query.validate(domain)
+            except QueryValidationError as exc:
+                raise QueryValidationError(
+                    f"workload query {i}: {exc}", index=i
+                ) from None
+
+    def result_sizes(self, domain: Any) -> np.ndarray:
+        """Per-query answer lengths over ``domain`` (``intp`` vector)."""
+        return np.asarray(
+            [query.result_size(domain) for query in self.queries], dtype=np.intp
+        )
+
+    def result_size(self, domain: Any) -> int:
+        """Total length of the flat answer vector over ``domain``."""
+        return int(self.result_sizes(domain).sum())
+
+    def split(self, answers: np.ndarray, domain: Any) -> list[np.ndarray]:
+        """Cut a flat answer vector back into per-query answer arrays."""
+        sizes = self.result_sizes(domain)
+        answers = np.asarray(answers)
+        if answers.shape != (int(sizes.sum()),):
+            raise ValueError(
+                f"answers has shape {answers.shape}, workload expects "
+                f"({int(sizes.sum())},)"
+            )
+        return np.split(answers, np.cumsum(sizes)[:-1])
+
+    def group_answers(self, answers: np.ndarray, domain: Any) -> list[Any]:
+        """Per-query JSON-ready answers: a bare ``float`` for scalar
+        queries, a ``list[float]`` for vector queries (marginals,
+        next-symbol rows).
+
+        This is the one definition of the wire response shape — the HTTP
+        service and the ``repro query`` CLI both encode through it.
+        """
+        out: list[Any] = []
+        for query, group in zip(self.queries, self.split(answers, domain)):
+            if query.vector_result:
+                out.append([float(v) for v in group])
+            else:
+                out.append(float(group[0]))
+        return out
+
+    # -- wire form --------------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        """The versioned plain-JSON workload document."""
+        from .wire import WIRE_VERSION, WORKLOAD_FORMAT
+
+        return {
+            "format": WORKLOAD_FORMAT,
+            "version": WIRE_VERSION,
+            "queries": [query.to_wire() for query in self.queries],
+        }
+
+    @staticmethod
+    def from_wire(data: Any) -> "Workload":
+        """Inverse of :meth:`to_wire` (see :func:`repro.queries.wire.
+        workload_from_wire`)."""
+        from .wire import workload_from_wire
+
+        return workload_from_wire(data)
+
+    def __repr__(self) -> str:
+        tags = ", ".join(self.type_tags) or "empty"
+        return f"<Workload n={len(self.queries)} types=[{tags}]>"

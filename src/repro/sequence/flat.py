@@ -247,11 +247,17 @@ class FlatPST:
         """Equation (12) estimate for one string (flat engine)."""
         return float(self.frequency_many([codes])[0])
 
-    def frequency_many(self, queries: Sequence[Sequence[int]]) -> np.ndarray:
-        """Equation (12) estimates for a whole batch of strings.
+    def _frequency_chain(
+        self, queries: Sequence[Sequence[int]], anchored: bool
+    ) -> np.ndarray:
+        """The Equation (12) product chain for a whole batch of strings.
 
-        Performs the same floating-point operations in the same order as
-        the recursive ``string_frequency``, so answers agree exactly.
+        Unanchored, the first factor is the root histogram's count of the
+        first symbol and every context is a plain suffix — the occurrence
+        estimate.  Anchored, a ``$`` start sentinel is prepended: the first
+        factor comes from the ``$`` context node (how many sequences open
+        with the symbol) and every conditional sees the sentinel, making
+        the chain a *sequences-starting-with* estimate.
         """
         arrays = [np.asarray(q, dtype=np.int64).ravel() for q in queries]
         if not arrays:
@@ -265,24 +271,100 @@ class FlatPST:
         n_rows = len(arrays)
         lengths = np.asarray([a.shape[0] for a in arrays], dtype=np.int64)
         width = int(lengths.max())
-        padded = np.full((n_rows, width), -1, dtype=np.int64)
+        offset = 1 if anchored else 0
+        padded = np.full((n_rows, width + offset), -1, dtype=np.int64)
+        if anchored:
+            padded[:, 0] = self.alphabet.start_code
         for i, a in enumerate(arrays):
-            padded[i, : a.shape[0]] = a
-        answers = self.hists[0][padded[:, 0]]
+            padded[i, offset : offset + a.shape[0]] = a
+        if anchored:
+            # The $-context node carries the sequence-start counts the
+            # anchored chain opens with.  A tree released without it (tiny
+            # budgets may never split on the start sentinel) has no
+            # sequence-start statistics — falling back to the root would
+            # silently answer with *occurrence* counts instead.
+            first = int(self.child_table[0, self.alphabet.start_code])
+            if first < 0:
+                raise ValueError(
+                    "the released PST has no '$' context node; "
+                    "sequence-start (prefix) statistics are unavailable"
+                )
+        else:
+            first = 0
+        answers = self.hists[first][padded[:, offset]]
         for i in range(1, width):
             active = np.nonzero(lengths > i)[0]
             if active.size == 0:
                 break
-            nodes = self._lookup_rows(padded[active, :i])
+            nodes = self._lookup_rows(padded[active, : i + offset])
             totals = self.totals[nodes]
             live = (answers[active] > 0) & (totals > 0)
             stepped = np.zeros(active.shape[0])
             rows = active[live]
             stepped[live] = answers[rows] * (
-                self.hists[nodes[live], padded[rows, i]] / totals[live]
+                self.hists[nodes[live], padded[rows, i + offset]] / totals[live]
             )
             answers[active] = stepped
         return np.maximum(answers, 0.0)
+
+    def frequency_many(self, queries: Sequence[Sequence[int]]) -> np.ndarray:
+        """Equation (12) estimates for a whole batch of strings.
+
+        Performs the same floating-point operations in the same order as
+        the recursive ``string_frequency``, so answers agree exactly.
+        """
+        return self._frequency_chain(queries, anchored=False)
+
+    def prefix_frequency_many(self, queries: Sequence[Sequence[int]]) -> np.ndarray:
+        """Estimated number of sequences *starting with* each string.
+
+        The Equation (12) chain anchored at the ``$`` start sentinel (see
+        :meth:`_frequency_chain`); one vectorized pass for the batch.
+        """
+        return self._frequency_chain(queries, anchored=True)
+
+    def conditional_rows(
+        self,
+        contexts: Sequence[Sequence[int]],
+        anchored: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``P(· | context)`` rows for a batch of contexts.
+
+        Each row is the longest-matching node's normalized prediction
+        histogram over ``I ∪ {&}`` (all zeros when that node's histogram
+        has no mass).  ``anchored`` marks rows whose context starts a
+        sequence: the ``$`` sentinel is prepended before lookup, so an
+        anchored empty context resolves to the sequence-start node instead
+        of the root.
+        """
+        arrays = [np.asarray(c, dtype=np.int64).ravel() for c in contexts]
+        n_rows = len(arrays)
+        hist_size = self.alphabet.hist_size
+        if n_rows == 0:
+            return np.empty((0, hist_size))
+        if anchored is None:
+            flags = np.zeros(n_rows, dtype=bool)
+        else:
+            flags = np.asarray(anchored, dtype=bool)
+            if flags.shape != (n_rows,):
+                raise ValueError(
+                    f"anchored has shape {flags.shape}, expected ({n_rows},)"
+                )
+        start = self.alphabet.start_code
+        widths = [a.shape[0] + int(flags[i]) for i, a in enumerate(arrays)]
+        width = max(max(widths), 1)
+        padded = np.full((n_rows, width), -1, dtype=np.int64)
+        for i, a in enumerate(arrays):
+            if flags[i]:
+                padded[i, width - a.shape[0] - 1] = start
+            if a.shape[0]:
+                padded[i, width - a.shape[0] :] = a
+        nodes = self._lookup_rows(padded)
+        totals = self.totals[nodes]
+        safe = np.where(totals > 0, totals, 1.0)
+        rows = self.hists[nodes] / safe[:, None]
+        rows[totals <= 0] = 0.0
+        return rows
 
     # ------------------------------------------------------------------
     # Batched generation and mining

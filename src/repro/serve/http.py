@@ -9,11 +9,18 @@ calls.  Endpoints::
     GET  /releases/{id}            one manifest entry
     POST /releases/{id}/query      {"queries": [...]} -> {"answers": [...]}
 
-A spatial batch is a list of ``{"low": [...], "high": [...]}`` boxes, a
-sequence batch a list of symbol-code lists.  Answers are the exact floats
-``release.query_many`` returns in-process (JSON round-trips doubles
-losslessly via ``repr``), so a consumer can verify a served batch
-bit-for-bit against a local reload of the artifact.
+A batch is a list of typed query documents (``{"format": "repro.query",
+"version": 1, "type": "range_count", ...}`` — see :mod:`repro.queries`),
+optionally mixed with the legacy raw forms (``{"low": ..., "high": ...}``
+boxes for spatial releases, symbol-code lists for sequence releases; kept
+for one deprecation cycle).  Scalar queries answer as bare floats, vector
+queries (marginals, next-symbol distributions) as lists.  Answers are the
+exact floats ``release.answer`` returns in-process (JSON round-trips
+doubles losslessly via ``repr``), so a consumer can verify a served batch
+bit-for-bit against a local reload of the artifact.  A batch with one
+invalid query fails as a 400 whose body names the offending index::
+
+    {"error": "query 3 is malformed (...)", "query_index": 3}
 """
 
 from __future__ import annotations
@@ -129,7 +136,14 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(500, str(exc))
             return
         except ValueError as exc:
-            self._send_error_json(400, str(exc))
+            # Decode/validation errors carry the offending batch position
+            # (QueryDecodeError / QueryValidationError), so one bad query
+            # in a large batch is a structured 400, not an opaque failure.
+            body: dict[str, Any] = {"error": str(exc)}
+            index = getattr(exc, "index", None)
+            if index is not None:
+                body["query_index"] = int(index)
+            self._send_json(400, body)
             return
         except Exception as exc:  # never drop the connection without a body
             self._send_error_json(500, f"internal error: {exc}")

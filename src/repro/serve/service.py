@@ -5,12 +5,16 @@ releases are loaded lazily, their compiled flat engines
 (``FlatHistogram`` / ``FlatPST`` / ``FlatNGram``) are warmed at load time,
 and an LRU bound keeps the resident set small while hot synopses answer
 batches straight from cache.  The HTTP layer and the CLI both dispatch
-through this class, so the wire semantics live in exactly one place.
+through this class, and batches decode through the shared
+:mod:`repro.queries.wire` codec — typed ``{"format": "repro.query", ...}``
+documents and (for one deprecation cycle) the legacy raw box/code-list
+forms — so the wire semantics live in exactly one place.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Any, Sequence
 
@@ -18,7 +22,7 @@ import numpy as np
 
 from ..api.base import Release
 from ..api.releases import SpatialRelease
-from ..domains.box import Box
+from ..queries.wire import decode_query_batch
 from .store import ReleaseStore, StoreError
 
 __all__ = ["ArtifactLoadError", "SynopsisService", "parse_queries"]
@@ -34,33 +38,29 @@ class ArtifactLoadError(RuntimeError):
 
 
 def parse_queries(release: Release, raw_queries: Sequence[Any]) -> list[Any]:
-    """Decode a JSON batch into the release's native query objects.
+    """Decode a raw JSON batch into the release's native query objects.
 
-    Spatial releases take boxes (``{"low": [...], "high": [...]}``);
-    sequence releases take coded strings (lists of symbol codes).  Raises
-    :class:`ValueError` with the offending index on malformed entries.
+    .. deprecated::
+        The serving layer now decodes through
+        :func:`repro.queries.wire.decode_query_batch`; use that (or
+        :func:`repro.queries.workload_from_wire` for typed workload
+        documents) instead.  This shim keeps the historical return shape —
+        boxes for spatial releases, ``list[int]`` code lists for sequence
+        releases.
     """
-    queries: list[Any] = []
+    warnings.warn(
+        "parse_queries() is deprecated; use repro.queries.decode_query_batch",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     spatial = isinstance(release, SpatialRelease)
-    for i, raw in enumerate(raw_queries):
-        try:
-            if spatial:
-                queries.append(Box.from_arrays(raw["low"], raw["high"]))
-            else:
-                if isinstance(raw, (str, bytes)):
-                    # Iterating "12" would silently yield codes [1, 2].
-                    raise TypeError("a string is not a code list")
-                queries.append([int(c) for c in raw])
-        except (KeyError, TypeError, ValueError) as exc:
-            expected = (
-                '{"low": [...], "high": [...]} boxes'
-                if spatial
-                else "lists of integer symbol codes"
-            )
-            raise ValueError(
-                f"query {i} is malformed ({exc}); this release answers {expected}"
-            ) from None
-    return queries
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        workload = decode_query_batch(raw_queries, spatial=spatial)
+    if spatial:
+        domain = release.query_domain
+        return [box for query in workload for box in query.to_boxes(domain)]
+    return [list(query.codes) for query in workload]
 
 
 class SynopsisService:
@@ -145,12 +145,20 @@ class SynopsisService:
 
         This is the full wire path: the HTTP handler and any RPC front-end
         send exactly this dict, so in-process answers and served answers
-        are the same floats.  One cache access per batch; nothing on this
-        path touches the manifest on disk.
+        are the same floats.  Batches may mix typed wire queries with the
+        legacy raw forms; everything is answered by **one**
+        ``release.answer`` dispatch.  Scalar queries answer as bare floats
+        (legacy entries always do, bit-identical to the historical wire);
+        vector queries (marginals, next-symbol rows) answer as lists.  One
+        cache access per batch; nothing on this path touches the manifest
+        on disk.
         """
         release = self.release(release_id)
-        queries = parse_queries(release, raw_queries)
-        answers = [float(v) for v in release.query_many(queries)]
+        workload = decode_query_batch(
+            raw_queries, spatial=isinstance(release, SpatialRelease)
+        )
+        flat = release.answer(workload)
+        answers = workload.group_answers(flat, release.query_domain)
         return {
             "id": release_id,
             "method": release.method,

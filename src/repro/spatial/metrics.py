@@ -64,23 +64,13 @@ def average_relative_error_from_answers(
 ) -> float:
     """Vectorized mean relative error given precomputed answer vectors.
 
-    The batched counterpart of :func:`average_relative_error`: experiments
-    compute the exact workload answers once (``dataset.count_in_many``) and
-    each synopsis's answers with its batched engine, then score them here.
+    Legacy alias: the §6.1 formula now lives in
+    :mod:`repro.queries.metrics` (``relative_errors``), which this
+    delegates to so the two surfaces can never diverge.
     """
-    estimates = np.asarray(estimates, dtype=float)
-    exacts = np.asarray(exacts, dtype=float)
-    if estimates.shape != exacts.shape:
-        raise ValueError(
-            f"shape mismatch: {estimates.shape} estimates vs {exacts.shape} exacts"
-        )
-    if estimates.size == 0:
-        raise ValueError("workload must contain at least one query")
-    if smoothing <= 0:
-        raise ValueError(f"smoothing must be positive, got {smoothing!r}")
-    return float(
-        np.mean(np.abs(estimates - exacts) / np.maximum(exacts, smoothing))
-    )
+    from ..queries.metrics import relative_errors
+
+    return float(relative_errors(estimates, exacts, smoothing).mean())
 
 
 def workload_error(
@@ -89,14 +79,13 @@ def workload_error(
     exacts: np.ndarray,
     smoothing: float,
 ) -> float:
-    """Mean relative error of a synopsis over a precomputed workload.
+    """Mean relative error of a synopsis over a box workload.
 
-    Uses the synopsis's batched ``range_count_many`` when it has one,
-    falling back to a per-query ``range_count`` loop.
+    Legacy alias of :func:`repro.queries.metrics.workload_error` taking
+    raw boxes; the experiments now score typed
+    :class:`~repro.queries.Workload` objects directly.
     """
-    batched = getattr(synopsis, "range_count_many", None)
-    if batched is not None:
-        estimates = np.asarray(batched(queries), dtype=float)
-    else:
-        estimates = np.array([synopsis.range_count(q) for q in queries])
-    return average_relative_error_from_answers(estimates, exacts, smoothing)
+    from ..queries import Workload
+    from ..queries.metrics import workload_error as _workload_error
+
+    return _workload_error(synopsis, Workload.ranges(queries), exacts, smoothing)

@@ -97,6 +97,41 @@ class TestJsonRoundTrip:
                 {"format": "repro.release", "version": 1, "kind": "nope"}
             )
 
+    def test_missing_provenance_keys_raise(self, uniform_2d):
+        """An untrusted document without method / epsilon_spent must fail
+        loudly instead of silently defaulting to method="" / 0.0."""
+        release, _ = _release("privtree", uniform_2d, None)
+        for key in ("method", "epsilon_spent"):
+            document = release.to_json()
+            del document[key]
+            with pytest.raises(ValueError, match=key):
+                release_from_json(document)
+
+    def test_default_query_many_returns_float64(self):
+        """The fallback batch path must hand the wire layer float64 — the
+        HTTP layer JSON-serializes whatever dtype comes back."""
+
+        class MinimalRelease(Release):
+            # kind left empty on purpose: not a registered wire artifact.
+            @property
+            def size(self):
+                return 1
+
+            def query(self, q):
+                return int(q)  # an int on purpose: the fallback must coerce
+
+            def _payload(self):
+                return {}
+
+            @classmethod
+            def _from_payload(cls, payload, *, method, epsilon_spent):
+                raise NotImplementedError
+
+        release = MinimalRelease(method="minimal", epsilon_spent=0.0)
+        answers = release.query_many(iter([1, 2, 3]))
+        assert answers.dtype == np.float64
+        assert answers.tolist() == [1.0, 2.0, 3.0]
+
     def test_sequence_release_sampling_survives_round_trip(self, sequence_data):
         release, _ = _release("pst", None, sequence_data)
         restored = release_from_json(release.to_json())

@@ -3,12 +3,58 @@
 import numpy as np
 
 from repro.experiments import (
+    run_frequency_error_experiment,
     run_length_distribution_experiment,
     run_ngram_height_ablation,
     run_topk_experiment,
 )
 
 LIGHT = dict(epsilons=[0.2, 1.6], n_reps=1, dataset_n=3_000, rng=0)
+
+
+class TestFrequencyErrorExperiment:
+    def test_columns_and_rows(self):
+        res = run_frequency_error_experiment("msnbc", n_queries=30, **LIGHT)
+        assert res.columns == ["PrivTree", "N-gram"]
+        assert res.rows == [0.2, 1.6]
+
+    def test_errors_non_negative_and_finite(self):
+        res = run_frequency_error_experiment("msnbc", n_queries=30, **LIGHT)
+        for col in res.columns:
+            assert all(np.isfinite(v) and v >= 0.0 for v in res.values[col])
+
+    def test_matches_manual_workload_scoring(self):
+        """The sweep's number is exactly the unified metric over the typed
+        workload (same answer path as the serving layer)."""
+        from repro.api import from_spec
+        from repro.datasets import SEQUENCE_DATASETS
+        from repro.mechanisms.rng import ensure_rng, spawn
+        from repro.queries import (
+            SMOOTHING_FRACTION,
+            StringFrequency,
+            Workload,
+            workload_error,
+        )
+        from repro.sequence.tasks import top_k_substrings
+
+        res = run_frequency_error_experiment(
+            "msnbc", n_queries=20, epsilons=[0.8], n_reps=1, dataset_n=2_000, rng=7
+        )
+        spec = SEQUENCE_DATASETS["msnbc"]
+        gen = ensure_rng(7)
+        dataset = spec.make(2_000, rng=gen)
+        ranked = top_k_substrings(dataset, 20, 8)
+        workload = Workload.of([StringFrequency(codes=c) for c, _ in ranked])
+        exacts = np.asarray([count for _, count in ranked], dtype=float)
+        # Replay the sweep's rng stream: one spawn per (method, epsilon).
+        rep_rng = next(iter(spawn(ensure_rng(gen.integers(2**32)), 1)))
+        release = from_spec("pst", epsilon=0.8, l_top=spec.l_top).fit(
+            dataset, rng=rep_rng
+        )
+        expected = workload_error(
+            release, workload, exacts, SMOOTHING_FRACTION * dataset.n
+        )
+        assert res.value("PrivTree", 0.8) == expected
 
 
 class TestTopkExperiment:

@@ -14,6 +14,7 @@ class TestParser:
         assert set(sub.choices) == {
             "run",
             "methods",
+            "query",
             "store",
             "serve",
             "figure5",
@@ -136,6 +137,7 @@ class TestCommands:
             "privtree_build",
             "workload_queries",
             "workload_generation",
+            "workload_answering",
             "service_cached_queries",
             "gram_counting",
             "substring_counting",
@@ -146,6 +148,8 @@ class TestCommands:
         }
         assert results["cases"]["workload_queries"]["max_abs_deviation"] < 1e-6
         assert results["cases"]["topk_scoring"]["max_abs_deviation"] < 1e-9
+        assert results["cases"]["workload_answering"]["speedup"] > 0
+        assert results["cases"]["workload_answering"]["n_answers"] > 0
         assert results["cases"]["service_cached_queries"]["queries_per_s"] > 0
         assert results["cases"]["service_cached_queries"]["cache_hit"] is True
         assert results["config"]["n_points"] == 3000
@@ -176,6 +180,116 @@ class TestCommands:
         out = capsys.readouterr().out
         assert f"comparison vs {out_file}" in out
         assert "baseline" in out and "current" in out
+
+
+class TestQueryCommand:
+    def test_query_answers_typed_workload(self, capsys, tmp_path):
+        import json
+
+        import numpy as np
+
+        release_file = tmp_path / "release.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--method",
+                    "privtree",
+                    "--dataset",
+                    "gowalla",
+                    "--n",
+                    "2000",
+                    "--out",
+                    str(release_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        from repro.api import load_release
+        from repro.queries import Marginal1D, RangeCount, Workload
+
+        release = load_release(release_file)
+        domain = release.query_domain
+        workload = Workload.of(
+            [
+                RangeCount(low=domain.low, high=domain.high),
+                Marginal1D.regular(
+                    axis=0, n_bins=3, low=domain.low[0], high=domain.high[0]
+                ),
+            ]
+        )
+        workload_file = tmp_path / "workload.json"
+        workload_file.write_text(json.dumps(workload.to_wire()))
+        answers_file = tmp_path / "answers.json"
+        code = main(
+            [
+                "query",
+                "--release",
+                str(release_file),
+                "--workload",
+                str(workload_file),
+                "--out",
+                str(answers_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "range_count" in out and "marginal1d" in out
+        document = json.loads(answers_file.read_text())
+        assert document["method"] == "privtree"
+        assert document["count"] == 2
+        flat = np.array([document["answers"][0]] + document["answers"][1])
+        assert np.array_equal(flat, release.answer(workload))
+
+    def test_query_rejects_bad_workload(self, tmp_path, capsys):
+        import json
+
+        release_file = tmp_path / "release.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--method",
+                    "privtree",
+                    "--dataset",
+                    "gowalla",
+                    "--n",
+                    "1000",
+                    "--out",
+                    str(release_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        workload_file = tmp_path / "workload.json"
+        workload_file.write_text(json.dumps({"format": "wrong"}))
+        with pytest.raises(SystemExit, match="invalid workload"):
+            main(
+                [
+                    "query",
+                    "--release",
+                    str(release_file),
+                    "--workload",
+                    str(workload_file),
+                ]
+            )
+
+    def test_query_rejects_missing_release(self, tmp_path):
+        workload_file = tmp_path / "workload.json"
+        workload_file.write_text("{}")
+        with pytest.raises(SystemExit, match="cannot load release"):
+            main(
+                [
+                    "query",
+                    "--release",
+                    str(tmp_path / "missing.json"),
+                    "--workload",
+                    str(workload_file),
+                ]
+            )
 
 
 class TestRunCommand:

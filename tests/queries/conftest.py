@@ -1,0 +1,85 @@
+"""Shared fixtures for the query-subsystem tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import from_spec
+from repro.datasets import msnbclike
+from repro.queries import (
+    Marginal1D,
+    NextSymbolDistribution,
+    PointCount,
+    PrefixCount,
+    RangeCount,
+    StringFrequency,
+)
+
+from ..api.conftest import FAST_PARAMS
+
+__all__ = ["FAST_PARAMS", "example_queries", "fitted_release"]
+
+
+@pytest.fixture(scope="module")
+def sequence_data():
+    """A small browsing-history analogue (same config as the API tests)."""
+    return msnbclike(800, rng=3)
+
+
+def fitted_release(name, uniform_2d, sequence_data, rng=0):
+    """One fitted release per registry method, at the fast test configs."""
+    kind, params = FAST_PARAMS[name]
+    dataset = uniform_2d if kind == "spatial" else sequence_data
+    return from_spec(name, epsilon=1.0, **params).fit(dataset, rng=rng)
+
+
+def example_queries(query_cls, domain, include_anchored=False):
+    """A few representative instances of ``query_cls`` valid over ``domain``.
+
+    ``include_anchored`` adds ``$``-anchored next-symbol variants, which
+    only PST releases answer (the n-gram baseline rejects anchoring).
+    """
+    if query_cls is RangeCount:
+        return [
+            RangeCount(low=(0.1, 0.1), high=(0.4, 0.5)),
+            RangeCount(low=(0.0, 0.0), high=(1.0, 1.0)),
+            RangeCount(low=(0.55, 0.2), high=(0.85, 0.95)),
+        ]
+    if query_cls is PointCount:
+        return [
+            PointCount(point=(0.5, 0.5)),
+            PointCount(point=(0.0, 1.0), cell_fraction=0.25),
+        ]
+    if query_cls is Marginal1D:
+        return [
+            Marginal1D.regular(axis=0, n_bins=4, low=0.0, high=1.0),
+            Marginal1D(axis=1, edges=(0.2, 0.5, 0.9)),
+        ]
+    size = domain.size
+    if query_cls is StringFrequency:
+        return [
+            StringFrequency(codes=(0,)),
+            StringFrequency(codes=(1, 2)),
+            StringFrequency(codes=(0, 1, 0)),
+            StringFrequency(codes=(size - 1,)),
+        ]
+    if query_cls is PrefixCount:
+        return [
+            PrefixCount(codes=(0,)),
+            PrefixCount(codes=(1, 0)),
+            PrefixCount(codes=(0, 1, 2)),
+        ]
+    if query_cls is NextSymbolDistribution:
+        out = [
+            NextSymbolDistribution(),
+            NextSymbolDistribution(context=(0,)),
+            NextSymbolDistribution(context=(1, 2), anchored=False),
+        ]
+        if include_anchored:
+            out += [
+                NextSymbolDistribution(context=(), anchored=True),
+                NextSymbolDistribution(context=(0, 1), anchored=True),
+            ]
+        return out
+    raise AssertionError(f"no examples for {query_cls}")

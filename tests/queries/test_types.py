@@ -1,0 +1,197 @@
+"""Construction and validation invariants of the six query types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.queries import (
+    Marginal1D,
+    NextSymbolDistribution,
+    PointCount,
+    PrefixCount,
+    QueryValidationError,
+    RangeCount,
+    StringFrequency,
+    Workload,
+    query_type_registry,
+)
+from repro.sequence.alphabet import Alphabet
+
+DOMAIN = Box.unit(2)
+ALPHABET = Alphabet.of_size(5)
+
+
+class TestRegistry:
+    def test_all_six_types_registered(self):
+        assert set(query_type_registry()) == {
+            "range_count",
+            "point_count",
+            "marginal1d",
+            "string_frequency",
+            "prefix_count",
+            "next_symbol_distribution",
+        }
+
+    def test_families(self):
+        registry = query_type_registry()
+        spatial = {"range_count", "point_count", "marginal1d"}
+        for tag, cls in registry.items():
+            assert cls.family == ("spatial" if tag in spatial else "sequence")
+
+
+class TestRangeCount:
+    def test_of_box_round_trips(self):
+        box = Box((0.1, 0.2), (0.5, 0.6))
+        assert RangeCount.of(box).box == box
+
+    def test_rejects_inverted_extent(self):
+        with pytest.raises(QueryValidationError, match="degenerate"):
+            RangeCount(low=(0.5, 0.0), high=(0.1, 1.0))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(QueryValidationError, match="dims"):
+            RangeCount(low=(0.0,), high=(1.0, 1.0))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(QueryValidationError, match="finite"):
+            RangeCount(low=(0.0, float("nan")), high=(1.0, 1.0))
+
+    def test_validate_checks_domain_dims(self):
+        query = RangeCount(low=(0.0, 0.0, 0.0), high=(1.0, 1.0, 1.0))
+        with pytest.raises(QueryValidationError, match="dims"):
+            query.validate(DOMAIN)
+
+    def test_validate_rejects_wrong_family_domain(self):
+        with pytest.raises(QueryValidationError, match="spatial"):
+            RangeCount(low=(0.0,), high=(1.0,)).validate(ALPHABET)
+
+
+class TestPointCount:
+    def test_probe_cell_is_centred_and_clipped(self):
+        cell = PointCount(point=(0.5, 0.5), cell_fraction=0.1).to_boxes(DOMAIN)[0]
+        np.testing.assert_allclose(cell.low, (0.45, 0.45))
+        np.testing.assert_allclose(cell.high, (0.55, 0.55))
+        corner = PointCount(point=(0.0, 1.0), cell_fraction=0.1).to_boxes(DOMAIN)[0]
+        np.testing.assert_allclose(corner.low, (0.0, 0.95))
+        np.testing.assert_allclose(corner.high, (0.05, 1.0))
+
+    def test_rejects_bad_cell_fraction(self):
+        for bad in (0.0, -1.0, 1.5):
+            with pytest.raises(QueryValidationError, match="cell_fraction"):
+                PointCount(point=(0.5, 0.5), cell_fraction=bad)
+
+    def test_validate_rejects_point_outside_domain(self):
+        with pytest.raises(QueryValidationError, match="outside"):
+            PointCount(point=(1.5, 0.5)).validate(DOMAIN)
+
+    def test_probe_survives_float_resolution_collapse(self):
+        # At coordinates much larger than the probe size, point ± half
+        # rounds back onto the point; the probe must still be a valid box.
+        domain = Box((1e16, 0.0), (1e16 + 4.0, 1.0))
+        query = PointCount(point=(1e16, 0.5))
+        query.validate(domain)
+        cell = query.to_boxes(domain)[0]
+        assert cell.low[0] < cell.high[0]
+        assert domain.contains_box(cell)
+
+
+class TestMarginal1D:
+    def test_regular_edges(self):
+        query = Marginal1D.regular(axis=1, n_bins=4, low=0.0, high=1.0)
+        assert query.n_bins == 4
+        np.testing.assert_allclose(query.edges, np.linspace(0.0, 1.0, 5))
+
+    def test_boxes_cover_full_extent_of_other_axes(self):
+        query = Marginal1D(axis=0, edges=(0.2, 0.4, 0.6))
+        boxes = query.to_boxes(DOMAIN)
+        assert len(boxes) == 2 == query.result_size(DOMAIN)
+        for box, (lo, hi) in zip(boxes, [(0.2, 0.4), (0.4, 0.6)]):
+            assert box.low == (lo, 0.0) and box.high == (hi, 1.0)
+
+    def test_rejects_non_increasing_edges(self):
+        with pytest.raises(QueryValidationError, match="increasing"):
+            Marginal1D(axis=0, edges=(0.0, 0.5, 0.5))
+
+    def test_rejects_single_edge(self):
+        with pytest.raises(QueryValidationError, match="two boundaries"):
+            Marginal1D(axis=0, edges=(0.0,))
+
+    def test_validate_rejects_axis_out_of_range(self):
+        with pytest.raises(QueryValidationError, match="axis 2"):
+            Marginal1D(axis=2, edges=(0.0, 1.0)).validate(DOMAIN)
+
+
+class TestSequenceQueries:
+    @pytest.mark.parametrize("cls", [StringFrequency, PrefixCount])
+    def test_rejects_empty_and_string_codes(self, cls):
+        with pytest.raises(QueryValidationError, match="non-empty"):
+            cls(codes=())
+        with pytest.raises(QueryValidationError, match="not a string"):
+            cls(codes="12")
+
+    @pytest.mark.parametrize("cls", [StringFrequency, PrefixCount])
+    def test_validate_rejects_out_of_alphabet_codes(self, cls):
+        with pytest.raises(QueryValidationError, match="outside the release alphabet"):
+            cls(codes=(0, ALPHABET.size)).validate(ALPHABET)
+
+    def test_validate_rejects_wrong_family_domain(self):
+        with pytest.raises(QueryValidationError, match="sequence"):
+            StringFrequency(codes=(0,)).validate(DOMAIN)
+
+    def test_next_symbol_allows_empty_context(self):
+        query = NextSymbolDistribution()
+        query.validate(ALPHABET)
+        assert query.result_size(ALPHABET) == ALPHABET.hist_size
+
+    def test_next_symbol_rejects_sentinel_context(self):
+        query = NextSymbolDistribution(context=(ALPHABET.start_code,))
+        with pytest.raises(QueryValidationError, match="outside the release alphabet"):
+            query.validate(ALPHABET)
+
+
+class TestWorkload:
+    def test_ranges_and_strings_builders(self):
+        boxes = [Box((0.0, 0.0), (0.5, 0.5)), Box((0.2, 0.2), (0.9, 0.9))]
+        workload = Workload.ranges(boxes)
+        assert [q.box for q in workload] == boxes
+        strings = Workload.strings([[0, 1], [2]])
+        assert [q.codes for q in strings] == [(0, 1), (2,)]
+
+    def test_rejects_non_query_elements(self):
+        with pytest.raises(TypeError, match="not a Query"):
+            Workload.of([Box((0.0,), (1.0,))])
+
+    def test_validate_names_offending_index(self):
+        workload = Workload.of(
+            [
+                RangeCount(low=(0.0, 0.0), high=(1.0, 1.0)),
+                RangeCount(low=(0.0,), high=(1.0,)),
+            ]
+        )
+        with pytest.raises(QueryValidationError, match="workload query 1") as excinfo:
+            workload.validate(DOMAIN)
+        assert excinfo.value.index == 1
+
+    def test_split_matches_result_sizes(self):
+        workload = Workload.of(
+            [
+                RangeCount(low=(0.0, 0.0), high=(1.0, 1.0)),
+                Marginal1D.regular(axis=0, n_bins=3, low=0.0, high=1.0),
+            ]
+        )
+        parts = workload.split(np.arange(4.0), DOMAIN)
+        assert [p.tolist() for p in parts] == [[0.0], [1.0, 2.0, 3.0]]
+        with pytest.raises(ValueError, match="shape"):
+            workload.split(np.arange(3.0), DOMAIN)
+
+    def test_type_tags_first_appearance_order(self):
+        workload = Workload.of(
+            [
+                Marginal1D.regular(axis=0, n_bins=2, low=0.0, high=1.0),
+                RangeCount(low=(0.0, 0.0), high=(1.0, 1.0)),
+                Marginal1D.regular(axis=1, n_bins=2, low=0.0, high=1.0),
+            ]
+        )
+        assert workload.type_tags == ("marginal1d", "range_count")

@@ -100,6 +100,73 @@ class TestEndpoints:
         expected = [float(v) for v in releases["sequence"].query_many(QUERY_CODES)]
         assert body["answers"] == expected
 
+    def test_typed_workload_matches_in_process_answer(self, server):
+        """Typed wire queries (range + point + marginal) answer exactly the
+        in-process `release.answer` floats; vector queries come as lists."""
+        from repro.queries import Marginal1D, PointCount, RangeCount, Workload
+
+        httpd, ids, releases = server
+        release = releases["spatial"]
+        workload = Workload.of(
+            [RangeCount.of(b) for b in QUERY_BOXES]
+            + [
+                PointCount(point=(0.25, 0.75)),
+                Marginal1D.regular(axis=0, n_bins=4, low=0.0, high=1.0),
+            ]
+        )
+        status, body = _post(
+            httpd,
+            f"/releases/{ids['spatial']}/query",
+            {"queries": [q.to_wire() for q in workload]},
+        )
+        assert status == 200
+        assert body["count"] == len(workload)
+        scalars, vector = body["answers"][:4], body["answers"][4]
+        assert all(isinstance(v, float) for v in scalars)
+        assert isinstance(vector, list) and len(vector) == 4
+        flat = np.array(scalars + vector)
+        assert np.array_equal(flat, release.answer(workload))
+
+    def test_mixed_legacy_and_typed_batch_bit_identical(self, server):
+        """A batch mixing raw boxes with typed documents answers exactly the
+        in-process `answer` of the decoded workload — and the legacy slots
+        exactly match the historical raw-batch answers."""
+        from repro.queries import RangeCount, Workload
+
+        httpd, ids, releases = server
+        release = releases["spatial"]
+        raw = [
+            {"low": list(QUERY_BOXES[0].low), "high": list(QUERY_BOXES[0].high)},
+            RangeCount.of(QUERY_BOXES[1]).to_wire(),
+            {"low": list(QUERY_BOXES[2].low), "high": list(QUERY_BOXES[2].high)},
+        ]
+        status, body = _post(httpd, f"/releases/{ids['spatial']}/query", {"queries": raw})
+        assert status == 200
+        expected = release.answer(Workload.ranges(QUERY_BOXES))
+        assert np.array_equal(np.array(body["answers"]), expected)
+        legacy = release.query_many(QUERY_BOXES)
+        assert np.array_equal(np.array(body["answers"]), legacy)
+
+    def test_typed_sequence_workload_over_http(self, server):
+        from repro.queries import NextSymbolDistribution, StringFrequency, Workload
+
+        httpd, ids, releases = server
+        release = releases["sequence"]
+        workload = Workload.of(
+            [
+                StringFrequency(codes=(0, 1)),
+                NextSymbolDistribution(context=(0,)),
+            ]
+        )
+        status, body = _post(
+            httpd,
+            f"/releases/{ids['sequence']}/query",
+            {"queries": [q.to_wire() for q in workload]},
+        )
+        assert status == 200
+        flat = np.array([body["answers"][0]] + body["answers"][1])
+        assert np.array_equal(flat, release.answer(workload))
+
 
 class TestErrorPaths:
     def test_unknown_release_404(self, server):
@@ -161,6 +228,49 @@ class TestErrorPaths:
         )
         assert status == 400
         assert "query 0 is malformed" in body["error"]
+        assert body["query_index"] == 0
+
+    def test_one_bad_query_in_batch_is_structured_400(self, server):
+        """One malformed entry in a large batch: the 400 body names the
+        offending index instead of failing opaquely."""
+        httpd, ids, _ = server
+        queries = _box_batch(QUERY_BOXES)["queries"] + [{"low": [0.1, 0.1]}]
+        status, body = _post(
+            httpd, f"/releases/{ids['spatial']}/query", {"queries": queries}
+        )
+        assert status == 400
+        assert body["query_index"] == len(QUERY_BOXES)
+        assert f"query {len(QUERY_BOXES)} is malformed" in body["error"]
+
+    def test_validation_failure_is_structured_400(self, server):
+        """A well-formed typed query that fails domain validation also
+        reports its index (satellite: structured 400 on validation)."""
+        from repro.queries import PointCount, RangeCount
+
+        httpd, ids, _ = server
+        queries = [
+            RangeCount(low=(0.1, 0.1), high=(0.5, 0.5)).to_wire(),
+            PointCount(point=(9.0, 9.0)).to_wire(),  # outside the unit domain
+        ]
+        status, body = _post(
+            httpd, f"/releases/{ids['spatial']}/query", {"queries": queries}
+        )
+        assert status == 400
+        assert body["query_index"] == 1
+        assert "workload query 1" in body["error"]
+
+    def test_unsupported_type_is_structured_400(self, server):
+        from repro.queries import StringFrequency
+
+        httpd, ids, _ = server
+        status, body = _post(
+            httpd,
+            f"/releases/{ids['spatial']}/query",
+            {"queries": [StringFrequency(codes=(0,)).to_wire()]},
+        )
+        assert status == 400
+        assert body["query_index"] == 0
+        assert "string_frequency" in body["error"]
 
 
 class TestConcurrency:

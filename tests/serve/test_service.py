@@ -114,6 +114,48 @@ class TestDispatch:
             float(v) for v in release.query_many(QUERY_CODES)
         ]
 
+    def test_mixed_legacy_typed_batch_bit_identical_to_answer(
+        self, store, uniform_2d
+    ):
+        """A batch mixing raw boxes with typed wire documents answers
+        bit-identically to in-process `release.answer` on the same
+        workload — one dispatch, same floats, scalars as bare floats."""
+        from repro.queries import Marginal1D, PointCount, RangeCount, Workload
+
+        release, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        raw = [
+            {"low": list(QUERY_BOXES[0].low), "high": list(QUERY_BOXES[0].high)},
+            RangeCount.of(QUERY_BOXES[1]).to_wire(),
+            PointCount(point=(0.5, 0.5)).to_wire(),
+            Marginal1D.regular(axis=1, n_bins=3, low=0.0, high=1.0).to_wire(),
+            {"low": list(QUERY_BOXES[2].low), "high": list(QUERY_BOXES[2].high)},
+        ]
+        response = service.answer_batch(release_id, raw)
+        workload = Workload.of(
+            [
+                RangeCount.of(QUERY_BOXES[0]),
+                RangeCount.of(QUERY_BOXES[1]),
+                PointCount(point=(0.5, 0.5)),
+                Marginal1D.regular(axis=1, n_bins=3, low=0.0, high=1.0),
+                RangeCount.of(QUERY_BOXES[2]),
+            ]
+        )
+        expected = release.answer(workload)
+        flat = np.array(
+            [
+                v
+                for entry in response["answers"]
+                for v in (entry if isinstance(entry, list) else [entry])
+            ]
+        )
+        assert np.array_equal(flat, expected)
+        # Legacy entries stay bare floats, bit-identical to the old wire.
+        assert response["answers"][0] == float(release.query_many([QUERY_BOXES[0]])[0])
+        assert isinstance(response["answers"][3], list)
+        assert response["count"] == 5
+
     def test_malformed_query_names_index(self, store, uniform_2d):
         release, _ = fit_release("privtree", uniform_2d, None)
         release_id = store.put(release)
@@ -123,6 +165,23 @@ class TestDispatch:
             service.answer_batch(release_id, [good, {"low": [0.0, 0.0]}])
         with pytest.raises(ValueError, match="boxes"):
             service.answer_batch(release_id, [[0, 1]])
+
+    def test_out_of_alphabet_legacy_codes_fail_with_index(
+        self, store, sequence_data
+    ):
+        """Intentional tightening of the legacy wire: an out-of-alphabet
+        code now fails validation with the offending index for every
+        sequence release (previously the n-gram engine silently answered
+        0.0 while the PST raised an unindexed error)."""
+        from repro.queries import QueryValidationError
+
+        release, _ = fit_release("ngram", None, sequence_data)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        size = release.query_domain.size
+        with pytest.raises(QueryValidationError, match="workload query 1") as exc:
+            service.answer_batch(release_id, [[0], [size]])
+        assert exc.value.index == 1
 
     def test_concurrent_cold_loads_count_one_miss(self, spatial_store):
         # N threads racing on the same cold id: one load, the rest wait on
