@@ -27,7 +27,7 @@ The historical free functions (``privtree_histogram`` and friends) remain
 importable as deprecated shims that produce identical results.
 """
 
-from . import api, queries, serve
+from . import api, federated, queries, serve
 from .api import Estimator, Release, from_spec
 from .queries import Workload
 from .core import (
@@ -72,6 +72,7 @@ __all__ = [
     "api",
     "average_relative_error",
     "ensure_rng",
+    "federated",
     "from_spec",
     "generate_workload",
     "private_pst",

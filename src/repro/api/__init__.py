@@ -33,6 +33,7 @@ from .base import Estimator, Release, load_release, release_from_json, save_rele
 from .estimators import (
     AGEstimator,
     DawaEstimator,
+    FederatedPrivTreeEstimator,
     HierarchyEstimator,
     KDTreeEstimator,
     NGramEstimator,
@@ -57,6 +58,7 @@ __all__ = [
     "AdaptiveGridRelease",
     "DawaEstimator",
     "Estimator",
+    "FederatedPrivTreeEstimator",
     "GridRelease",
     "HierarchyEstimator",
     "KDTreeEstimator",

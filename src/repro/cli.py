@@ -9,6 +9,8 @@ Examples::
     repro store put --store synopses/ --method privtree --dataset gowalla
     repro store ls --store synopses/
     repro store get --store synopses/ RELEASE_ID --out release.json
+    repro federated-fit --shards 3 --dataset gowalla --epsilon 1.0
+    repro federated-fit --shards 3 --dataset gowalla --epochs 4 --store epochs/
     repro serve --store synopses/ --port 8000
     repro figure5 --dataset road --band medium --reps 3
     repro figure6 --dataset msnbc --k 100
@@ -121,6 +123,55 @@ def build_parser() -> argparse.ArgumentParser:
     store_get.add_argument("release_id", help="release id (see `repro store ls`)")
     store_get.add_argument("--out", default=None, help="copy the release JSON here")
 
+    fed = sub.add_parser(
+        "federated-fit",
+        help="fit PrivTree over K blinded shard collectors (optionally per epoch)",
+    )
+    fed.add_argument(
+        "--shards", type=int, default=3, help="number of shard collectors"
+    )
+    fed.add_argument(
+        "--dataset", required=True, help="spatial dataset name (see `repro datasets`)"
+    )
+    fed.add_argument(
+        "--epsilon",
+        type=float,
+        default=1.0,
+        help="privacy budget (per epoch when --epochs > 1)",
+    )
+    fed.add_argument(
+        "--n", type=int, default=None, help="dataset cardinality (per epoch)"
+    )
+    fed.add_argument("--seed", type=int, default=0, help="rng seed")
+    fed.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra fit parameter (repeatable), e.g. --param theta=0.5",
+    )
+    fed.add_argument(
+        "--epochs",
+        type=int,
+        default=1,
+        help="continual release: ingest and release this many epochs",
+    )
+    fed.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        help="sliding-window width in epochs (with --epochs)",
+    )
+    fed.add_argument(
+        "--store",
+        default=None,
+        help="persist the release(s) into this store directory "
+        "(required when --epochs > 1)",
+    )
+    fed.add_argument(
+        "--out", default=None, help="write the (final) release JSON here"
+    )
+
     serve_p = sub.add_parser("serve", help="answer batched queries against a store over HTTP")
     serve_p.add_argument("--store", required=True, help="store directory")
     serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -184,7 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BASELINE_JSON",
         help="print a regression table vs. a committed BENCH_perf.json "
-        "(warns when a case slows down >20%%; never fails the run)",
+        "(warns when a case slows down >20%%; never fails the run "
+        "unless --fail-above is also given)",
+    )
+    bench.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="with --compare: exit non-zero when any case slows down past "
+        "RATIO times its baseline (CI gates at 1.5)",
     )
 
     sub.add_parser("svt", help="SVT privacy-loss counterexamples")
@@ -386,6 +446,113 @@ def _run_store(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_federated_fit(args: argparse.Namespace) -> str:
+    from .api import SpatialTreeRelease, save_release
+    from .datasets import SPATIAL_DATASETS
+    from .federated import EpochLedger, federated_privtree_histogram, shard_dataset
+    from .mechanisms import PrivacyAccountant
+    from .serve import ReleaseStore
+
+    if args.shards < 2:
+        raise SystemExit(f"--shards must be at least 2, got {args.shards}")
+    if args.epochs < 1:
+        raise SystemExit(f"--epochs must be at least 1, got {args.epochs}")
+    if args.dataset not in SPATIAL_DATASETS:
+        raise SystemExit(
+            f"unknown spatial dataset {args.dataset!r}; choose from "
+            f"{', '.join(sorted(SPATIAL_DATASETS))}"
+        )
+    spec = SPATIAL_DATASETS[args.dataset]
+    params = dict(_parse_param(p) for p in args.param)
+    if "epsilon" in params:
+        raise SystemExit("set the privacy budget with --epsilon, not --param epsilon=")
+
+    if args.epochs == 1:
+        dataset = spec.make(args.n, rng=args.seed)
+        accountant = PrivacyAccountant(args.epsilon)
+        try:
+            tree = federated_privtree_histogram(
+                shard_dataset(dataset, args.shards),
+                args.epsilon,
+                rng=args.seed,
+                accountant=accountant,
+                blinding_seed=args.seed,
+                **params,
+            )
+        except TypeError as exc:
+            raise SystemExit(str(exc)) from None
+        release = SpatialTreeRelease(
+            tree, method="privtree_federated", epsilon_spent=args.epsilon
+        )
+        lines = [
+            f"federated fit: {args.shards} shard collectors, secure aggregation",
+            f"dataset  : {args.dataset} (n={dataset.n:,}, round-robin sharded)",
+            f"release  : {type(release).__name__}, size={release.size:,}",
+            f"epsilon  : {release.epsilon_spent:g} spent of {accountant.total_epsilon:g}",
+            "ledger   :",
+        ]
+        for label, eps in accountant.ledger:
+            lines.append(f"  {label:30s} {eps:.6g}")
+        if args.store:
+            store = ReleaseStore(args.store)
+            release_id = store.put(
+                release,
+                dataset=f"{args.dataset}(n={dataset.n})",
+                params={"n_shards": args.shards, **params},
+            )
+            lines.append(f"stored as {release_id} in {store.root}")
+        if args.out:
+            save_release(release, args.out)
+            lines.append(f"release written to {args.out}")
+        return "\n".join(lines)
+
+    # Continual release: one ingest + one sliding-window release per epoch,
+    # all paid from one shared accountant.
+    if not args.store:
+        raise SystemExit("--epochs > 1 persists an epoch series: --store is required")
+    store = ReleaseStore(args.store)
+    accountant = PrivacyAccountant(args.epsilon * args.epochs)
+    try:
+        ledger = EpochLedger(
+            store,
+            accountant,
+            n_shards=args.shards,
+            epsilon_per_epoch=args.epsilon,
+            window=args.window,
+            blinding_seed=args.seed,
+            fit_params=params,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    lines = [
+        f"continual release: {args.epochs} epochs x {args.shards} shards, "
+        f"window={args.window}, epsilon/epoch={args.epsilon:g}",
+    ]
+    for epoch in range(args.epochs):
+        data = spec.make(args.n, rng=args.seed + epoch)
+        ledger.ingest(epoch, shard_dataset(data, args.shards))
+        try:
+            ledger.release(epoch, rng=args.seed + epoch)
+        except TypeError as exc:
+            raise SystemExit(str(exc)) from None
+    for record in ledger.records:
+        window = ",".join(str(t) for t in record.window_epochs)
+        lines.append(
+            f"  epoch {record.epoch:4d} -> {record.release_id}  "
+            f"window=[{window}]  n={record.n_points:,}  "
+            f"epsilon={record.epsilon:g}"
+        )
+    lines.append(
+        f"budget   : {accountant.spent:g} spent of {accountant.total_epsilon:g} "
+        f"({accountant.remaining:g} remaining)"
+    )
+    lines.append(f"store    : {store.root} ({len(store)} release(s))")
+    if args.out:
+        save_release(store.get(ledger.as_of(args.epochs - 1)), args.out)
+        lines.append(f"latest release written to {args.out}")
+    return "\n".join(lines)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from .serve import ReleaseStore, serve
 
@@ -412,9 +579,20 @@ def _run_methods() -> str:
     return "\n".join(lines)
 
 
-def _run_bench(args: argparse.Namespace) -> str:
-    from .experiments import compare_bench_results, run_perf_bench, write_bench_json
+def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
+    from .experiments import (
+        bench_regression_failures,
+        compare_bench_results,
+        run_perf_bench,
+        write_bench_json,
+    )
 
+    if args.fail_above is not None and not args.compare:
+        raise SystemExit("--fail-above requires --compare BASELINE_JSON")
+    if args.fail_above is not None and args.fail_above <= 1.0:
+        raise SystemExit(
+            f"--fail-above must exceed 1.0 (a slowdown factor), got {args.fail_above}"
+        )
     baseline = None
     if args.compare:
         # Load the baseline up front so a bad path fails before the
@@ -452,11 +630,26 @@ def _run_bench(args: argparse.Namespace) -> str:
     if args.out:
         write_bench_json(results, args.out)
         lines.append(f"results written to {args.out}")
+    code = 0
     if baseline is not None:
         table, _ = compare_bench_results(results, baseline)
         lines.append(f"comparison vs {args.compare}:")
         lines.append(table)
-    return "\n".join(lines)
+        if args.fail_above is not None:
+            failures = bench_regression_failures(results, baseline, args.fail_above)
+            if failures:
+                lines.append(
+                    f"FAIL: {len(failures)} case(s) slower than "
+                    f"{args.fail_above:g}x the baseline:"
+                )
+                for name, ratio in failures:
+                    lines.append(f"  {name:22s} {ratio:6.2f}x")
+                code = 1
+            else:
+                lines.append(
+                    f"regression gate passed (no case above {args.fail_above:g}x)"
+                )
+    return "\n".join(lines), code
 
 
 def _run_svt() -> str:
@@ -505,6 +698,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_run_query(args))
     elif args.command == "store":
         print(_run_store(args))
+    elif args.command == "federated-fit":
+        print(_run_federated_fit(args))
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "figure5":
@@ -547,7 +742,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(result.to_table(format_seconds))
     elif args.command == "bench":
-        print(_run_bench(args))
+        text, code = _run_bench(args)
+        print(text)
+        return code
     elif args.command == "svt":
         print(_run_svt())
     elif args.command == "datasets":

@@ -22,6 +22,7 @@ from .spatial_error import (
     spatial_method_registry,
 )
 from .perf import (
+    bench_regression_failures,
     compare_bench_results,
     run_perf_bench,
     run_sequence_perf_bench,
@@ -36,6 +37,7 @@ __all__ = [
     "format_float",
     "format_percent",
     "format_seconds",
+    "bench_regression_failures",
     "compare_bench_results",
     "run_ag_gridsize_ablation",
     "run_fanout_ablation",

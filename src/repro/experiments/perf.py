@@ -31,6 +31,7 @@ from ..core.node import DecompositionTree, TreeNode
 from ..core.params import PrivTreeParams
 from ..datasets.sequence import msnbclike
 from ..datasets.spatial import gowallalike
+from ..federated.driver import federated_privtree_histogram, shard_dataset
 from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import ensure_rng
 from ..sequence.metrics import length_distribution, total_variation_distance
@@ -47,6 +48,7 @@ from ..spatial.quadtree import _privtree_histogram
 from ..spatial.queries import generate_workload
 
 __all__ = [
+    "bench_regression_failures",
     "build_mixed_workload",
     "compare_bench_results",
     "reference_privtree_histogram",
@@ -472,6 +474,25 @@ def run_perf_bench(
         repeats, lambda: generate_workload(data.domain, band, n_queries, rng=rng + 1)
     )
 
+    # The federated fit: K in-process blinded collectors, secure count
+    # aggregation, coordinator noise.  Must rebuild the exact centralized
+    # synopsis bit-for-bit under the same seed — the fit's defining
+    # guarantee — so the case both times the protocol overhead and guards
+    # the identity in CI.
+    from ..spatial.serialize import tree_to_dict
+
+    n_shards = 4
+    fed_s, fed_tree = _best_of(
+        repeats,
+        lambda: federated_privtree_histogram(
+            shard_dataset(data, n_shards), epsilon=epsilon, rng=rng
+        ),
+    )
+    if tree_to_dict(fed_tree) != tree_to_dict(synopsis):
+        raise AssertionError(
+            "federated fit deviates from the centralized release"
+        )
+
     service_case = run_service_perf_bench(
         synopsis, queries, epsilon=epsilon, repeats=repeats
     )
@@ -532,6 +553,15 @@ def run_perf_bench(
             "workload_generation": {
                 "optimized_s": workload_s,
             },
+            "federated_fit": {
+                "workload": (
+                    f"{n_shards} blinded shard collectors -> secure aggregation"
+                ),
+                "optimized_s": fed_s,
+                "centralized_s": build_s,
+                "overhead_vs_centralized": fed_s / build_s,
+                "bit_identical_to_centralized": True,
+            },
             "workload_answering": {
                 "workload": (
                     f"{n_mixed_queries:,} mixed range/point/marginal queries"
@@ -590,6 +620,32 @@ def compare_bench_results(results: dict, baseline: dict) -> tuple[str, int]:
     else:
         lines.append("no case regressed vs the baseline")
     return "\n".join(lines), n_regressions
+
+
+def bench_regression_failures(
+    results: dict, baseline: dict, threshold: float
+) -> list[tuple[str, float]]:
+    """The cases whose ``optimized_s`` exceeds ``threshold`` times the baseline.
+
+    The blocking counterpart of :func:`compare_bench_results`: the table
+    flags >20% slowdowns as warnings, while ``repro bench --fail-above R``
+    turns any case in this list into a non-zero exit (CI uses ``R=1.5``).
+    Cases missing from either side never fail — new cases appear as the
+    perf surface grows.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    base_cases = baseline.get("cases", {})
+    failures = []
+    for name, case in sorted(results.get("cases", {}).items()):
+        current = case.get("optimized_s")
+        base = base_cases.get(name, {}).get("optimized_s")
+        if current is None or base is None or base <= 0:
+            continue
+        ratio = current / base
+        if ratio > threshold:
+            failures.append((name, ratio))
+    return failures
 
 
 def write_bench_json(results: dict, path: str) -> None:

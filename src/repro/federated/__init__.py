@@ -1,0 +1,56 @@
+"""Federated private aggregation: sharded PrivTree fits, continual release.
+
+The "millions of users" deployment story: users live on different data
+collectors and the curator never holds raw points.  PrivTree's frontier
+only ever consumes per-node counts, so the fit factors cleanly into three
+parties borrowed from PrivCount's architecture:
+
+* :class:`ShardCollector` — holds one partition of the data, mirrors the
+  coordinator's splits on its local payload tree, and answers per-node
+  count queries with **additively blinded** ``uint64`` shares
+  (pairwise-cancelling mask streams, :mod:`repro.federated.blinding`);
+* :class:`SecureAggregator` — sums the shares; masks telescope away,
+  recovering exact global counts without any party seeing a raw per-shard
+  histogram;
+* :class:`FederatedPrivTree` — the coordinator: replays the centralized
+  level-batched frontier loop against aggregated counts, drawing one
+  Laplace batch per level (and one over the leaves) from its own RNG so
+  the federated release is **bit-identical** to the single-machine fit on
+  the concatenated data under the same seed.
+
+:class:`EpochLedger` extends this to continual observation: sliding-window
+re-fits over epoch-stamped shard data, budget composition across epochs
+through one shared :class:`~repro.mechanisms.PrivacyAccountant`, and one
+stored artifact per epoch in a :class:`~repro.serve.ReleaseStore` so the
+serve layer answers "as of epoch t" queries.
+
+Example — three in-process collectors, one private release::
+
+    from repro.datasets import gowallalike
+    from repro.federated import federated_privtree_histogram, shard_dataset
+
+    data = gowallalike(30_000, rng=0)
+    tree = federated_privtree_histogram(shard_dataset(data, 3), epsilon=1.0, rng=0)
+    # bit-identical to privtree fit on `data` with rng=0
+"""
+
+from .aggregator import SecureAggregator
+from .blinding import MASK_DTYPE, PairwiseBlinder, pair_index
+from .collector import ROOT_NODE_ID, ShardCollector, child_node_id
+from .driver import FederatedPrivTree, federated_privtree_histogram, shard_dataset
+from .ledger import EpochLedger, EpochRecord
+
+__all__ = [
+    "EpochLedger",
+    "EpochRecord",
+    "FederatedPrivTree",
+    "MASK_DTYPE",
+    "PairwiseBlinder",
+    "ROOT_NODE_ID",
+    "SecureAggregator",
+    "ShardCollector",
+    "child_node_id",
+    "federated_privtree_histogram",
+    "pair_index",
+    "shard_dataset",
+]

@@ -1,0 +1,77 @@
+"""The tally side of the protocol: sum blinded shares, recover exact counts.
+
+PrivCount splits this role between share keepers and a tally server; with
+pairwise blinding the algebra collapses into one step — add every shard's
+``uint64`` share vector modulo ``2^64`` and the masks telescope away,
+leaving the exact global per-node counts.  The aggregator sees only blinded
+vectors (each one uniformly distributed on its own), never a raw per-shard
+histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .blinding import MASK_DTYPE
+
+__all__ = ["SecureAggregator"]
+
+#: Counts at or above 2^63 cannot be told apart from mask-cancellation
+#: failures (and don't fit the signed dtype the engines use).
+_MAX_COUNT = np.uint64(1) << np.uint64(63)
+
+
+class SecureAggregator:
+    """Sums pairwise-blinded share vectors into exact global counts.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards that must report each round; a round with a
+        missing or extra report fails loudly (an incomplete sum would be
+        garbage, not an approximation — the masks only cancel when every
+        pair member contributes).
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 2:
+            raise ValueError(f"need at least 2 shards to aggregate, got {n_shards}")
+        self.n_shards = n_shards
+        self.rounds = 0
+
+    def aggregate(self, shares: Sequence[np.ndarray]) -> np.ndarray:
+        """Exact global counts from one round of blinded shares.
+
+        ``shares`` holds one ``uint64`` vector per shard, all the same
+        length (one entry per queried node).  Returns the recovered counts
+        as ``int64``.
+        """
+        if len(shares) != self.n_shards:
+            raise ValueError(
+                f"expected shares from {self.n_shards} shards, got {len(shares)}"
+            )
+        arrays = [np.asarray(s) for s in shares]
+        length = arrays[0].shape[0] if arrays else 0
+        for i, arr in enumerate(arrays):
+            if arr.dtype != MASK_DTYPE or arr.ndim != 1:
+                raise ValueError(
+                    f"shard {i} reported dtype {arr.dtype}/{arr.ndim}-d shares; "
+                    "expected a 1-d uint64 vector"
+                )
+            if arr.shape[0] != length:
+                raise ValueError(
+                    f"shard {i} reported {arr.shape[0]} shares but shard 0 "
+                    f"reported {length}; rounds must be aligned"
+                )
+        total = np.zeros(length, dtype=MASK_DTYPE)
+        for arr in arrays:
+            total += arr  # wraps mod 2^64: the ring addition of the scheme
+        if length and total.max() >= _MAX_COUNT:
+            raise ValueError(
+                "aggregated count >= 2^63: mask streams out of sync "
+                "(a shard skipped a round or used a different blinding seed)"
+            )
+        self.rounds += 1
+        return total.astype(np.int64)

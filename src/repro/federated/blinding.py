@@ -1,0 +1,119 @@
+"""Pairwise-cancelling additive blinding (the PrivCount share scheme).
+
+A shard must report per-node counts to the aggregator without the
+aggregator — or any eavesdropper on one link — learning its raw per-shard
+histogram.  PrivCount's data collectors solve this with pairwise blinding:
+every unordered pair of shards ``{i, j}`` shares one secret mask stream;
+shard ``min(i, j)`` *adds* each mask to its counts and shard ``max(i, j)``
+*subtracts* it, all in the ring ``Z_{2^64}``.  Any single shard's report is
+then uniformly distributed (a one-time pad under its partners' masks), but
+the sum over all shards telescopes every mask away and recovers the exact
+global counts — no noise, no approximation.
+
+Here the pair secrets are deterministic child streams of one shared
+``blinding_seed`` (see :func:`repro.mechanisms.rng.spawn_streams`), so the
+two members of a pair stay in lockstep without exchanging state: both
+re-derive the same stream and both consume exactly ``len(node_ids)`` masks
+per aggregation round.  In a real deployment each pair would instead run a
+key exchange; the arithmetic — and everything downstream of it — is
+unchanged.
+
+All blinded values are ``uint64`` and all arithmetic wraps modulo ``2^64``
+(numpy's native unsigned overflow), which is exactly the ring addition the
+scheme needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mechanisms.rng import SeedLike, spawn_streams
+
+__all__ = ["MASK_DTYPE", "PairwiseBlinder", "pair_index"]
+
+#: The share ring: counts and masks live in Z_{2^64}.
+MASK_DTYPE = np.uint64
+
+#: Exclusive upper bound handed to ``Generator.integers`` for full-range
+#: uint64 masks (2^64 is representable as the bound even though the values
+#: themselves cap at 2^64 - 1).
+_RING = 1 << 64
+
+
+def pair_index(n_shards: int) -> list[tuple[int, int]]:
+    """The canonical ordering of unordered shard pairs ``(i < j)``.
+
+    Every shard derives the same pair list from ``n_shards`` alone, so the
+    ``k``-th child stream of the blinding seed means the same pair secret to
+    both of its members.
+    """
+    return [(i, j) for i in range(n_shards) for j in range(i + 1, n_shards)]
+
+
+class PairwiseBlinder:
+    """One shard's source of pairwise-cancelling masks.
+
+    Parameters
+    ----------
+    shard_id:
+        This shard's index in ``[0, n_shards)``.
+    n_shards:
+        Total number of shards in the aggregation; at least 2 (a single
+        shard has no partner to hide behind).
+    blinding_seed:
+        The shared root seed the pair streams are derived from.  Must be
+        common to all shards of one aggregation and is *independent* of the
+        coordinator's noise stream — blinding never touches the privacy
+        budget or the release's RNG reproducibility.
+    """
+
+    def __init__(self, shard_id: int, n_shards: int, blinding_seed: SeedLike) -> None:
+        if n_shards < 2:
+            raise ValueError(
+                f"pairwise blinding needs at least 2 shards, got {n_shards}"
+            )
+        if not 0 <= shard_id < n_shards:
+            raise ValueError(
+                f"shard_id must be in [0, {n_shards}), got {shard_id!r}"
+            )
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        pairs = pair_index(n_shards)
+        streams = spawn_streams(blinding_seed, len(pairs))
+        # Keep only the pairs this shard belongs to; the others' streams are
+        # never consumed here, so discarding them cannot desynchronize anyone.
+        self._pair_streams = [
+            (pair, stream)
+            for pair, stream in zip(pairs, streams)
+            if shard_id in pair
+        ]
+
+    def masks(self, k: int) -> np.ndarray:
+        """The next ``k`` combined masks for one aggregation round.
+
+        Both members of every pair draw the same ``k`` values from their
+        copy of the pair stream; the lower-indexed member adds them and the
+        higher-indexed member subtracts, so the pair's contribution to the
+        aggregate is identically zero.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k!r}")
+        total = np.zeros(k, dtype=MASK_DTYPE)
+        for (low, _high), stream in self._pair_streams:
+            draw = stream.integers(0, _RING, size=k, dtype=MASK_DTYPE)
+            if self.shard_id == low:
+                total += draw
+            else:
+                total -= draw
+        return total
+
+    def blind(self, counts: np.ndarray) -> np.ndarray:
+        """Blinded shares for one round: ``(counts + masks) mod 2^64``."""
+        exact = np.asarray(counts)
+        if exact.ndim != 1:
+            raise ValueError(f"counts must be a vector, got shape {exact.shape}")
+        if not np.issubdtype(exact.dtype, np.integer):
+            raise ValueError(f"counts must be integral, got dtype {exact.dtype}")
+        if exact.size and int(exact.min()) < 0:
+            raise ValueError("counts must be non-negative")
+        return exact.astype(MASK_DTYPE) + self.masks(exact.shape[0])

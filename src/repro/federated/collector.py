@@ -1,0 +1,133 @@
+"""The shard-side party of a federated fit: one partition, blinded counts.
+
+A :class:`ShardCollector` plays PrivCount's *data collector* role.  It holds
+one shard of the sensitive points (over the **global** domain, so every
+shard's decomposition geometry matches the coordinator's), mirrors the
+coordinator's split decisions on its local
+:class:`~repro.spatial.payload.SpatialNodeData` tree, and answers per-node
+count queries by emitting additively blinded ``uint64`` shares.  The raw
+per-shard counts never leave the collector: every emitted vector is blinded
+by the pairwise masks of :class:`~repro.federated.blinding.PairwiseBlinder`,
+so only the sum across *all* shards — taken by the
+:class:`~repro.federated.aggregator.SecureAggregator` — is meaningful.
+
+The collector is deliberately dumb about privacy: it adds no noise and
+knows nothing about ε.  All noise is drawn once, at the coordinator, from
+the aggregated exact counts — exactly where the single-machine engine draws
+it — which is what makes the federated release bit-identical to the
+centralized one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..domains.box import Box
+from ..mechanisms.rng import SeedLike
+from ..spatial.dataset import SpatialDataset
+from ..spatial.payload import SpatialNodeData
+from .blinding import PairwiseBlinder
+
+__all__ = ["ROOT_NODE_ID", "ShardCollector", "child_node_id"]
+
+#: The coordinator and every collector agree on this id for the root box
+#: (the paper's ``v1`` covering all of Ω).
+ROOT_NODE_ID = "v1"
+
+
+def child_node_id(parent_id: str, child_index: int) -> str:
+    """The canonical id of a split child: the parent's path plus its rank.
+
+    Children are ranked in :meth:`~repro.domains.box.Box.bisect` order, so
+    ids are pure geometry — every party derives the same id for the same
+    sub-box without exchanging anything beyond the split decision.
+    """
+    return f"{parent_id}.{child_index}"
+
+
+class ShardCollector:
+    """One shard's worker: local payload tree + blinded count answers.
+
+    Parameters
+    ----------
+    shard_id, n_shards:
+        This collector's index and the total shard count (≥ 2).
+    dataset:
+        The shard's points.  ``dataset.domain`` must be the *global* domain
+        Ω shared by all shards — the split geometry is derived from it.
+    blinding_seed:
+        Root seed of the pairwise mask streams; common to all collectors of
+        one aggregation (see :mod:`repro.federated.blinding`).
+    dims_per_split:
+        Dimensions bisected per split, as in the centralized engine.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        n_shards: int,
+        dataset: SpatialDataset,
+        *,
+        blinding_seed: SeedLike = 0,
+        dims_per_split: int | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self._blinder = PairwiseBlinder(shard_id, n_shards, blinding_seed)
+        root = SpatialNodeData.root(dataset, dims_per_split)
+        self._payloads: dict[str, SpatialNodeData] = {ROOT_NODE_ID: root}
+        self._domain = dataset.domain
+        self._n_points = dataset.n
+
+    @property
+    def domain(self) -> Box:
+        """The global domain this shard's decomposition runs over."""
+        return self._domain
+
+    @property
+    def n_points(self) -> int:
+        """Number of points held by this shard (not privacy-sensitive here:
+        the coordinator learns the exact global total anyway via the root
+        count, and shard sizes are deployment metadata)."""
+        return self._n_points
+
+    @property
+    def dims_per_split(self) -> int:
+        """Dimensions bisected per split (fanout β = 2^dims_per_split)."""
+        return self._payloads[ROOT_NODE_ID].dims_per_split
+
+    def blinded_counts(self, node_ids: list[str]) -> np.ndarray:
+        """Blinded shares of this shard's counts for ``node_ids``.
+
+        One aggregation round: the pair mask streams advance by exactly
+        ``len(node_ids)`` draws, so the coordinator must query every
+        collector with the same id list in the same round order.
+        """
+        counts = np.empty(len(node_ids), dtype=np.int64)
+        for i, node_id in enumerate(node_ids):
+            payload = self._lookup(node_id)
+            counts[i] = int(payload.score())
+        return self._blinder.blind(counts)
+
+    def apply_splits(self, node_ids: list[str]) -> None:
+        """Mirror the coordinator's split decision for ``node_ids``.
+
+        Splits every named node's local payload (one vectorized pass over
+        the whole level via ``split_many``) and registers the children under
+        their canonical ids.  Raises ``KeyError`` on an unknown id — a
+        protocol error, not a data condition.
+        """
+        payloads = [self._lookup(node_id) for node_id in node_ids]
+        children_lists = SpatialNodeData.split_many(payloads)
+        for node_id, children in zip(node_ids, children_lists):
+            for j, child in enumerate(children):
+                self._payloads[child_node_id(node_id, j)] = child
+
+    def _lookup(self, node_id: str) -> SpatialNodeData:
+        try:
+            return self._payloads[node_id]
+        except KeyError:
+            raise KeyError(
+                f"shard {self.shard_id} has no node {node_id!r}; the "
+                "coordinator must split a node before querying its children"
+            ) from None

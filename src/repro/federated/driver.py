@@ -1,0 +1,342 @@
+"""The coordinator: PrivTree's frontier driven by aggregated shard counts.
+
+PrivTree's engine (:func:`repro.core.privtree.privtree`) only ever consumes
+*per-node counts* — the split geometry, the eligibility test, and the child
+ordering are pure functions of the domain.  That is the whole trick of the
+federated fit: the coordinator replays the exact level-batched frontier loop
+of the single-machine engine, but sources each level's counts from a
+:class:`~repro.federated.aggregator.SecureAggregator` over blinded shard
+shares instead of from an in-memory point set, and draws **one Laplace
+batch per level** (plus one final leaf-count batch) from its own RNG —
+the same stream positions, in the same order, as the centralized engine.
+
+Because (a) the aggregated counts are *exact* (blinding is lossless), (b)
+eligibility and child order depend only on boxes, and (c) the coordinator
+consumes its RNG identically to the in-memory pipeline, the federated
+release is **bit-identical** to
+:func:`repro.spatial.quadtree._privtree_histogram` run on the concatenation
+of the shards, for the same seed and parameters.  The documented stream
+order is the one in :mod:`repro.core.privtree`: BFS over splittable nodes,
+one sized Laplace batch per level, then one batch over the DFS
+left-to-right leaves.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.params import PrivTreeParams
+from ..core.privtree import DEFAULT_MAX_DEPTH, MaxDepthWarning
+from ..domains.box import Box
+from ..mechanisms.accountant import PrivacyAccountant
+from ..mechanisms.geometric import geometric_noise_interleaved
+from ..mechanisms.laplace import laplace_noise
+from ..mechanisms.rng import RngLike, SeedLike, ensure_rng
+from ..spatial.dataset import SpatialDataset
+from ..spatial.histogram_tree import HistogramNode, HistogramTree
+from .aggregator import SecureAggregator
+from .collector import ROOT_NODE_ID, ShardCollector, child_node_id
+
+__all__ = ["FederatedPrivTree", "federated_privtree_histogram", "shard_dataset"]
+
+
+def shard_dataset(dataset: SpatialDataset, n_shards: int) -> list[SpatialDataset]:
+    """Partition ``dataset`` into ``n_shards`` round-robin shards.
+
+    Every shard keeps the **global** domain (the decomposition geometry must
+    be common), only the points are split.  Aggregated counts are invariant
+    to which shard holds which point, so any partition yields the same
+    federated release; round-robin is merely a deterministic, balanced
+    default.
+    """
+    if n_shards < 2:
+        raise ValueError(f"n_shards must be at least 2, got {n_shards}")
+    return [
+        SpatialDataset(
+            points=dataset.points[i::n_shards],
+            domain=dataset.domain,
+            name=f"{dataset.name}[shard {i}/{n_shards}]",
+        )
+        for i in range(n_shards)
+    ]
+
+
+@dataclass
+class _FrontierNode:
+    """Coordinator-side node: geometry only, never a point or a count."""
+
+    node_id: str
+    box: Box
+    depth: int
+    next_dim: int
+    children: list["_FrontierNode"] = field(default_factory=list)
+
+    def split_dims(self, dims_per_split: int) -> list[int]:
+        d = self.box.ndim
+        return [(self.next_dim + j) % d for j in range(dims_per_split)]
+
+
+class FederatedPrivTree:
+    """Coordinator for a sharded PrivTree fit.
+
+    Parameters
+    ----------
+    collectors:
+        The shard workers (≥ 2), all over the same global domain with the
+        same ``dims_per_split`` and the same blinding seed.
+    aggregator:
+        The share summer; a fresh :class:`SecureAggregator` by default.
+    """
+
+    def __init__(
+        self,
+        collectors: Sequence[ShardCollector],
+        aggregator: SecureAggregator | None = None,
+    ) -> None:
+        collectors = list(collectors)
+        if len(collectors) < 2:
+            raise ValueError(
+                f"a federated fit needs at least 2 collectors, got {len(collectors)}"
+            )
+        first = collectors[0]
+        for collector in collectors[1:]:
+            if collector.domain != first.domain:
+                raise ValueError("collectors disagree on the global domain")
+            if collector.dims_per_split != first.dims_per_split:
+                raise ValueError("collectors disagree on dims_per_split")
+        self.collectors = collectors
+        self.aggregator = aggregator or SecureAggregator(len(collectors))
+        if self.aggregator.n_shards != len(collectors):
+            raise ValueError(
+                f"aggregator expects {self.aggregator.n_shards} shards but "
+                f"{len(collectors)} collectors are attached"
+            )
+
+    @property
+    def domain(self) -> Box:
+        """The global domain Ω of the decomposition."""
+        return self.collectors[0].domain
+
+    @property
+    def dims_per_split(self) -> int:
+        return self.collectors[0].dims_per_split
+
+    @property
+    def fanout(self) -> int:
+        return 2 ** self.dims_per_split
+
+    def _aggregate_counts(self, node_ids: list[str]) -> np.ndarray:
+        """One protocol round: exact global counts for ``node_ids``."""
+        shares = [c.blinded_counts(node_ids) for c in self.collectors]
+        return self.aggregator.aggregate(shares)
+
+    def fit_histogram(
+        self,
+        epsilon: float,
+        *,
+        theta: float = 0.0,
+        tree_fraction: float = 0.5,
+        tuples_per_individual: int = 1,
+        count_mechanism: str = "laplace",
+        rng: RngLike = None,
+        max_depth: int | None = DEFAULT_MAX_DEPTH,
+        accountant: PrivacyAccountant | None = None,
+        label_prefix: str = "privtree",
+    ) -> HistogramTree:
+        """The full §3.3–§3.4 pipeline over aggregated shard counts.
+
+        Parameters mirror :func:`~repro.spatial.quadtree._privtree_histogram`
+        exactly (``label_prefix`` additionally namespaces the ledger entries,
+        e.g. per epoch); the returned tree is bit-identical to running that
+        function on the concatenated shard data with the same ``rng``.
+        """
+        if tuples_per_individual < 1:
+            raise ValueError(
+                f"tuples_per_individual must be >= 1, got {tuples_per_individual!r}"
+            )
+        if count_mechanism not in ("laplace", "geometric"):
+            raise ValueError(
+                f"count_mechanism must be 'laplace' or 'geometric', "
+                f"got {count_mechanism!r}"
+            )
+        if not 0 < tree_fraction < 1:
+            raise ValueError(f"tree_fraction must be in (0, 1), got {tree_fraction!r}")
+        gen = ensure_rng(rng)
+        if accountant is None:
+            accountant = PrivacyAccountant(epsilon)
+        eps_tree = accountant.spend(
+            tree_fraction * epsilon, f"{label_prefix}/tree structure"
+        )
+        eps_counts = accountant.spend(
+            (1.0 - tree_fraction) * epsilon, f"{label_prefix}/leaf counts"
+        )
+        params = PrivTreeParams.calibrate(
+            eps_tree,
+            fanout=self.fanout,
+            sensitivity=float(tuples_per_individual),
+            theta=theta,
+        )
+
+        root = self._grow_tree(params, gen, max_depth)
+
+        # Leaf counts: same DFS left-to-right order and the same one-batch
+        # noise draw as the in-memory pipeline; the exact counts arrive as
+        # one last aggregation round instead of local window sizes.
+        nodes = _preorder(root)
+        leaves = [node for node in nodes if not node.children]
+        exact = self._aggregate_counts([leaf.node_id for leaf in leaves])
+        if count_mechanism == "laplace":
+            count_scale = tuples_per_individual / eps_counts
+            noisy = exact.astype(float) + laplace_noise(
+                count_scale, size=len(leaves), rng=gen
+            )
+        else:
+            noisy = exact + geometric_noise_interleaved(
+                eps_counts,
+                len(leaves),
+                sensitivity=float(tuples_per_individual),
+                rng=gen,
+            )
+        leaf_counts = {leaf.node_id: float(value) for leaf, value in zip(leaves, noisy)}
+
+        # Assemble the released tree exactly like quadtree._release_histogram:
+        # leaves get their noisy counts, internal nodes the sum of children.
+        released: dict[str, HistogramNode] = {}
+        for node in reversed(nodes):
+            children = [released[c.node_id] for c in node.children]
+            if not node.children:
+                count = leaf_counts[node.node_id]
+            else:
+                count = sum(c.count for c in children)
+            released[node.node_id] = HistogramNode(
+                box=node.box, count=count, children=children
+            )
+        return HistogramTree(root=released[root.node_id])
+
+    def _grow_tree(
+        self,
+        params: PrivTreeParams,
+        gen: np.random.Generator,
+        max_depth: int | None,
+    ) -> _FrontierNode:
+        """Algorithm 2's level-batched frontier, counts via aggregation.
+
+        Mirrors :func:`repro.core.privtree.privtree` line for line —
+        eligibility, the one-batch-per-level noise draw, the biased-score
+        threshold test, the max-depth guard — with ``score(v)`` supplied by
+        one aggregation round over the eligible nodes.
+        """
+        dims_per_split = self.dims_per_split
+        root = _FrontierNode(
+            node_id=ROOT_NODE_ID, box=self.domain, depth=0, next_dim=0
+        )
+        level = [root]
+        guard_hit = False
+        floor = params.floor()
+        while level:
+            eligible: list[_FrontierNode] = []
+            for node in level:
+                if not node.box.can_bisect(node.split_dims(dims_per_split)):
+                    continue
+                if max_depth is not None and node.depth >= max_depth:
+                    guard_hit = True
+                    continue
+                eligible.append(node)
+            if not eligible:
+                break
+            counts = self._aggregate_counts([node.node_id for node in eligible])
+            noise = laplace_noise(params.lam, size=len(eligible), rng=gen)
+            to_split: list[_FrontierNode] = []
+            for node, count, perturbation in zip(eligible, counts, noise):
+                biased = max(floor, float(count) - node.depth * params.delta)
+                if biased + perturbation > params.theta:
+                    to_split.append(node)
+            for collector in self.collectors:
+                collector.apply_splits([node.node_id for node in to_split])
+            next_level: list[_FrontierNode] = []
+            for node in to_split:
+                dims = node.split_dims(dims_per_split)
+                next_dim = (node.next_dim + dims_per_split) % node.box.ndim
+                node.children = [
+                    _FrontierNode(
+                        node_id=child_node_id(node.node_id, j),
+                        box=child_box,
+                        depth=node.depth + 1,
+                        next_dim=next_dim,
+                    )
+                    for j, child_box in enumerate(node.box.bisect(dims))
+                ]
+                next_level.extend(node.children)
+            level = next_level
+        if guard_hit:
+            warnings.warn(
+                f"PrivTree hit the max_depth={max_depth} guard; the decomposition "
+                "was truncated (this is outside the paper's analysis)",
+                MaxDepthWarning,
+                stacklevel=3,
+            )
+        return root
+
+
+def _preorder(root: _FrontierNode) -> list[_FrontierNode]:
+    """All nodes in pre-order (the leaf subsequence is DFS left-to-right)."""
+    out: list[_FrontierNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(reversed(node.children))
+    return out
+
+
+def federated_privtree_histogram(
+    shards: Sequence[SpatialDataset],
+    epsilon: float,
+    *,
+    dims_per_split: int | None = None,
+    theta: float = 0.0,
+    tree_fraction: float = 0.5,
+    tuples_per_individual: int = 1,
+    count_mechanism: str = "laplace",
+    rng: RngLike = None,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+    accountant: PrivacyAccountant | None = None,
+    blinding_seed: SeedLike = 0,
+    label_prefix: str = "privtree",
+) -> HistogramTree:
+    """Fit PrivTree over ``shards`` without any party seeing the raw counts.
+
+    Convenience wrapper: builds one in-process
+    :class:`~repro.federated.collector.ShardCollector` per shard dataset
+    (all over their common domain), wires them to a
+    :class:`SecureAggregator`, and runs :meth:`FederatedPrivTree.
+    fit_histogram`.  The result is bit-identical to the centralized
+    ``privtree`` fit on the concatenated shard points under the same seed.
+    """
+    shards = list(shards)
+    collectors = [
+        ShardCollector(
+            i,
+            len(shards),
+            shard,
+            blinding_seed=blinding_seed,
+            dims_per_split=dims_per_split,
+        )
+        for i, shard in enumerate(shards)
+    ]
+    driver = FederatedPrivTree(collectors)
+    return driver.fit_histogram(
+        epsilon,
+        theta=theta,
+        tree_fraction=tree_fraction,
+        tuples_per_individual=tuples_per_individual,
+        count_mechanism=count_mechanism,
+        rng=rng,
+        max_depth=max_depth,
+        accountant=accountant,
+        label_prefix=label_prefix,
+    )

@@ -13,12 +13,13 @@ from .laplace import (
     laplace_pdf,
     laplace_sf,
 )
-from .rng import RngLike, ensure_rng, spawn
+from .rng import RngLike, SeedLike, ensure_rng, spawn, spawn_streams
 
 __all__ = [
     "BudgetExceededError",
     "PrivacyAccountant",
     "RngLike",
+    "SeedLike",
     "ensure_rng",
     "exponential_mechanism",
     "exponential_weights",
@@ -34,4 +35,5 @@ __all__ = [
     "laplace_pdf",
     "laplace_sf",
     "spawn",
+    "spawn_streams",
 ]

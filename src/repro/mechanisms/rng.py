@@ -7,13 +7,17 @@ results are reproducible by construction.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 
 #: Anything accepted where randomness is needed: a seed, a Generator, or
 #: ``None`` for OS entropy.
 RngLike = Union[None, int, np.random.Generator]
+
+#: Anything accepted where a *derivable* seed is needed (child-stream
+#: derivation): a seed integer, an entropy sequence, or ``None``.
+SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -36,3 +40,34 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     others.
     """
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def spawn_streams(seed: SeedLike, k: int) -> list[np.random.Generator]:
+    """Derive ``k`` deterministic child streams from a root ``seed``.
+
+    Unlike :func:`spawn`, which consumes spawn state from a live generator
+    (so repeated calls yield *different* children), this derives the children
+    from the seed itself via :class:`numpy.random.SeedSequence` — calling it
+    twice with the same seed reproduces the identical streams.  That property
+    is what distributed parties need: every shard collector and every
+    blinding pair can re-derive its stream from the shared seed alone,
+    without coordinating generator state.
+
+    ``seed`` may be an integer, an entropy sequence, or an existing
+    ``SeedSequence`` (``None`` draws fresh OS entropy, which is of course
+    not reproducible).  Child ``i`` of a given seed is stable across calls
+    and independent of ``k``: asking for more streams extends the list
+    without perturbing the earlier ones.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k!r}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    # Spawn from a private copy: SeedSequence.spawn mutates spawn state, and
+    # determinism here must not depend on who derived streams before us.
+    fresh = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=root.spawn_key, pool_size=root.pool_size
+    )
+    return [np.random.default_rng(s) for s in fresh.spawn(k)]

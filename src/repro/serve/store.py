@@ -173,6 +173,22 @@ class ReleaseStore:
         with self._lock:
             return sorted(self._read_manifest()["releases"])
 
+    def latest(self, prefix: str) -> str:
+        """The lexicographically last id starting with ``prefix``.
+
+        The lookup behind "as of now" queries over continual-release series:
+        :class:`~repro.federated.EpochLedger` stores epoch artifacts under
+        zero-padded ids (``epoch-0007``), so lexicographic order *is* epoch
+        order and the latest id is the freshest release.
+        """
+        matches = [i for i in self.ids() if i.startswith(prefix)]
+        if not matches:
+            raise StoreError(
+                f"no release id starts with {prefix!r}; "
+                f"stored ids: {', '.join(self.ids()) or '(none)'}"
+            )
+        return matches[-1]
+
     def __contains__(self, release_id: object) -> bool:
         with self._lock:
             return release_id in self._read_manifest()["releases"]

@@ -11,6 +11,7 @@ from repro.datasets import msnbclike
 #: exhaustiveness check in test_registry.
 FAST_PARAMS: dict[str, tuple[str, dict]] = {
     "privtree": ("spatial", {}),
+    "privtree_federated": ("spatial", {"n_shards": 3}),
     "simpletree": ("spatial", {"height": 5}),
     "ug": ("spatial", {}),
     "ag": ("spatial", {}),

@@ -10,6 +10,7 @@ from .conftest import FAST_PARAMS
 
 ADVERTISED = [
     "privtree",
+    "privtree_federated",
     "simpletree",
     "ug",
     "ag",

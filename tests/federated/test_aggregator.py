@@ -1,0 +1,79 @@
+"""Tests for the share-summing aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.federated import MASK_DTYPE, PairwiseBlinder, SecureAggregator
+
+
+def _shares(per_shard_counts, seed=0):
+    n = len(per_shard_counts)
+    return [
+        PairwiseBlinder(i, n, blinding_seed=seed).blind(np.asarray(c))
+        for i, c in enumerate(per_shard_counts)
+    ]
+
+
+class TestAggregate:
+    def test_recovers_exact_global_counts(self):
+        agg = SecureAggregator(3)
+        out = agg.aggregate(_shares([[5, 0, 2], [0, 1, 2], [10, 0, 2]]))
+        assert out.dtype == np.int64
+        assert out.tolist() == [15, 1, 6]
+
+    def test_round_counter_increments(self):
+        agg = SecureAggregator(2)
+        assert agg.rounds == 0
+        agg.aggregate(_shares([[1], [2]]))
+        agg.aggregate(
+            [
+                PairwiseBlinder(0, 2, blinding_seed=0).blind(np.array([3])),
+                PairwiseBlinder(1, 2, blinding_seed=0).blind(np.array([4])),
+            ]
+        )
+        assert agg.rounds == 2
+
+    def test_empty_round(self):
+        empty = np.array([], dtype=int)
+        out = SecureAggregator(2).aggregate(_shares([empty, empty]))
+        assert out.shape == (0,)
+
+    def test_rejects_single_shard(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            SecureAggregator(1)
+
+    def test_rejects_wrong_shard_count(self):
+        with pytest.raises(ValueError, match="expected shares from 3"):
+            SecureAggregator(3).aggregate(_shares([[1], [2]]))
+
+    def test_rejects_signed_shares(self):
+        with pytest.raises(ValueError, match="uint64"):
+            SecureAggregator(2).aggregate(
+                [np.array([1], dtype=np.int64), np.array([2], dtype=np.uint64)]
+            )
+
+    def test_rejects_misaligned_rounds(self):
+        good = _shares([[1, 2], [3, 4]])
+        with pytest.raises(ValueError, match="must be aligned"):
+            SecureAggregator(2).aggregate([good[0], good[1][:1]])
+
+    def test_detects_desynchronized_mask_streams(self):
+        # One shard blinds with the wrong seed: the masks no longer cancel,
+        # and the wrapped sum lands (with overwhelming probability) in the
+        # out-of-range upper half of the ring.
+        bad = [
+            PairwiseBlinder(0, 2, blinding_seed=0).blind(np.array([1, 2, 3])),
+            PairwiseBlinder(1, 2, blinding_seed=99).blind(np.array([4, 5, 6])),
+        ]
+        with pytest.raises(ValueError, match="out of sync"):
+            SecureAggregator(2).aggregate(bad)
+
+    def test_detects_skipped_round(self):
+        # Shard 1 answers a round shard 0 never saw: streams are offset.
+        b0 = PairwiseBlinder(0, 2, blinding_seed=0)
+        b1 = PairwiseBlinder(1, 2, blinding_seed=0)
+        b1.masks(3)  # shard 1 burns a round
+        with pytest.raises(ValueError, match="out of sync"):
+            SecureAggregator(2).aggregate(
+                [b0.blind(np.array([1, 2, 3])), b1.blind(np.array([1, 2, 3]))]
+            )

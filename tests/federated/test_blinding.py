@@ -1,0 +1,97 @@
+"""Tests for the pairwise-cancelling blinding scheme."""
+
+import numpy as np
+import pytest
+
+from repro.federated import MASK_DTYPE, PairwiseBlinder, pair_index
+
+
+class TestPairIndex:
+    def test_enumerates_all_unordered_pairs(self):
+        assert pair_index(3) == [(0, 1), (0, 2), (1, 2)]
+        assert len(pair_index(5)) == 10
+
+    def test_pairs_are_canonically_ordered(self):
+        for i, j in pair_index(6):
+            assert i < j
+
+
+class TestPairwiseBlinder:
+    def test_rejects_single_shard(self):
+        with pytest.raises(ValueError, match="at least 2 shards"):
+            PairwiseBlinder(0, 1, blinding_seed=0)
+
+    @pytest.mark.parametrize("shard_id", [-1, 3, 7])
+    def test_rejects_out_of_range_shard_id(self, shard_id):
+        with pytest.raises(ValueError, match="shard_id"):
+            PairwiseBlinder(shard_id, 3, blinding_seed=0)
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 5])
+    def test_masks_cancel_across_all_shards(self, n_shards):
+        blinders = [
+            PairwiseBlinder(i, n_shards, blinding_seed=42) for i in range(n_shards)
+        ]
+        total = np.zeros(16, dtype=MASK_DTYPE)
+        for b in blinders:
+            total += b.masks(16)
+        assert np.all(total == 0)
+
+    def test_masks_cancel_over_multiple_rounds(self):
+        # Streams advance in lockstep: cancellation must hold round by round,
+        # including rounds of different sizes.
+        blinders = [PairwiseBlinder(i, 3, blinding_seed=9) for i in range(3)]
+        for size in (4, 1, 11):
+            total = np.zeros(size, dtype=MASK_DTYPE)
+            for b in blinders:
+                total += b.masks(size)
+            assert np.all(total == 0)
+
+    def test_masks_are_deterministic_in_the_seed(self):
+        a = PairwiseBlinder(1, 4, blinding_seed=5).masks(8)
+        b = PairwiseBlinder(1, 4, blinding_seed=5).masks(8)
+        c = PairwiseBlinder(1, 4, blinding_seed=6).masks(8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_masks_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PairwiseBlinder(0, 2, blinding_seed=0).masks(-1)
+
+
+class TestBlind:
+    def test_blinded_share_is_uint64(self):
+        share = PairwiseBlinder(0, 2, blinding_seed=0).blind(np.arange(5))
+        assert share.dtype == MASK_DTYPE
+        assert share.shape == (5,)
+
+    def test_no_share_reveals_the_raw_counts(self):
+        # The defining property: an emitted share is the count plus a
+        # uniform one-time pad, so it never equals the raw count itself
+        # (up to the 2^-64 per-entry collision chance, absent at this seed).
+        counts = np.arange(64)
+        for shard_id in range(3):
+            share = PairwiseBlinder(shard_id, 3, blinding_seed=1).blind(counts)
+            assert not np.any(share == counts.astype(MASK_DTYPE))
+
+    def test_sum_of_blinded_shares_recovers_counts(self):
+        per_shard = [np.array([3, 0, 7]), np.array([1, 5, 0]), np.array([2, 2, 2])]
+        total = np.zeros(3, dtype=MASK_DTYPE)
+        for i, counts in enumerate(per_shard):
+            total += PairwiseBlinder(i, 3, blinding_seed=13).blind(counts)
+        assert np.array_equal(total, np.array([6, 7, 9], dtype=MASK_DTYPE))
+
+    def test_rejects_matrix_counts(self):
+        with pytest.raises(ValueError, match="vector"):
+            PairwiseBlinder(0, 2, blinding_seed=0).blind(np.zeros((2, 2), dtype=int))
+
+    def test_rejects_float_counts(self):
+        with pytest.raises(ValueError, match="integral"):
+            PairwiseBlinder(0, 2, blinding_seed=0).blind(np.array([1.5]))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PairwiseBlinder(0, 2, blinding_seed=0).blind(np.array([1, -1]))
+
+    def test_empty_round_is_fine(self):
+        share = PairwiseBlinder(0, 2, blinding_seed=0).blind(np.array([], dtype=int))
+        assert share.shape == (0,)

@@ -1,0 +1,211 @@
+"""Tests for the federated coordinator: bit-identity and protocol hygiene."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.privtree import MaxDepthWarning
+from repro.federated import (
+    MASK_DTYPE,
+    FederatedPrivTree,
+    SecureAggregator,
+    ShardCollector,
+    federated_privtree_histogram,
+    shard_dataset,
+)
+from repro.mechanisms import PrivacyAccountant
+from repro.spatial import SpatialDataset
+from repro.spatial.quadtree import _privtree_histogram
+from repro.spatial.serialize import tree_to_dict
+
+
+class TestShardDataset:
+    def test_partitions_preserve_points_and_domain(self, uniform_2d):
+        shards = shard_dataset(uniform_2d, 3)
+        assert len(shards) == 3
+        assert sum(s.n for s in shards) == uniform_2d.n
+        for s in shards:
+            assert s.domain == uniform_2d.domain
+        rebuilt = np.vstack([s.points for s in shards])
+        assert sorted(map(tuple, rebuilt)) == sorted(map(tuple, uniform_2d.points))
+
+    def test_rejects_single_shard(self, uniform_2d):
+        with pytest.raises(ValueError, match="at least 2"):
+            shard_dataset(uniform_2d, 1)
+
+
+class TestBitIdentity:
+    """The headline guarantee: federated == centralized, bit for bit."""
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 5])
+    def test_default_parameters(self, clustered_2d, n_shards):
+        central = _privtree_histogram(clustered_2d, epsilon=1.0, rng=0)
+        federated = federated_privtree_histogram(
+            shard_dataset(clustered_2d, n_shards), epsilon=1.0, rng=0
+        )
+        assert tree_to_dict(federated) == tree_to_dict(central)
+
+    def test_every_knob_turned(self, clustered_2d):
+        kwargs = dict(
+            epsilon=2.0,
+            dims_per_split=1,
+            theta=0.5,
+            tree_fraction=0.3,
+            tuples_per_individual=3,
+            count_mechanism="geometric",
+            rng=17,
+        )
+        central = _privtree_histogram(clustered_2d, **kwargs)
+        federated = federated_privtree_histogram(
+            shard_dataset(clustered_2d, 4), **kwargs
+        )
+        assert tree_to_dict(federated) == tree_to_dict(central)
+
+    def test_identity_is_invariant_to_the_partition(self, clustered_2d):
+        # Any split of the points yields the same release: aggregated counts
+        # are partition-invariant and all noise is the coordinator's.
+        round_robin = shard_dataset(clustered_2d, 3)
+        cut = clustered_2d.n // 2
+        lopsided = [
+            SpatialDataset(clustered_2d.points[:cut], clustered_2d.domain, name="a"),
+            SpatialDataset(clustered_2d.points[cut:], clustered_2d.domain, name="b"),
+        ]
+        a = federated_privtree_histogram(round_robin, epsilon=1.0, rng=5)
+        b = federated_privtree_histogram(lopsided, epsilon=1.0, rng=5)
+        assert tree_to_dict(a) == tree_to_dict(b)
+
+    def test_identity_is_invariant_to_the_blinding_seed(self, clustered_2d):
+        shards = shard_dataset(clustered_2d, 3)
+        a = federated_privtree_histogram(shards, epsilon=1.0, rng=2, blinding_seed=0)
+        b = federated_privtree_histogram(shards, epsilon=1.0, rng=2, blinding_seed=123)
+        assert tree_to_dict(a) == tree_to_dict(b)
+
+    def test_max_depth_guard_warns_like_the_engine(self, clustered_2d):
+        with pytest.warns(MaxDepthWarning):
+            federated = federated_privtree_histogram(
+                shard_dataset(clustered_2d, 2), epsilon=8.0, rng=0, max_depth=2
+            )
+        with pytest.warns(MaxDepthWarning):
+            central = _privtree_histogram(clustered_2d, epsilon=8.0, rng=0, max_depth=2)
+        assert tree_to_dict(federated) == tree_to_dict(central)
+
+
+class TestAccounting:
+    def test_spends_like_the_centralized_fit(self, uniform_2d):
+        acct = PrivacyAccountant(1.0)
+        federated_privtree_histogram(
+            shard_dataset(uniform_2d, 2),
+            epsilon=1.0,
+            tree_fraction=0.4,
+            rng=0,
+            accountant=acct,
+        )
+        assert [label for label, _ in acct.ledger] == [
+            "privtree/tree structure",
+            "privtree/leaf counts",
+        ]
+        assert acct.spent == pytest.approx(1.0)
+
+    def test_label_prefix_namespaces_the_ledger(self, uniform_2d):
+        acct = PrivacyAccountant(1.0)
+        federated_privtree_histogram(
+            shard_dataset(uniform_2d, 2),
+            epsilon=1.0,
+            rng=0,
+            accountant=acct,
+            label_prefix="epoch 0007/privtree",
+        )
+        assert [label for label, _ in acct.ledger] == [
+            "epoch 0007/privtree/tree structure",
+            "epoch 0007/privtree/leaf counts",
+        ]
+
+
+class TestValidation:
+    def test_rejects_fewer_than_two_collectors(self, uniform_2d):
+        collector = ShardCollector(0, 2, uniform_2d)
+        with pytest.raises(ValueError, match="at least 2 collectors"):
+            FederatedPrivTree([collector])
+
+    def test_rejects_domain_mismatch(self, uniform_2d):
+        half_box = uniform_2d.domain.bisect([0])[0]
+        inside = uniform_2d.points[half_box.contains_points(uniform_2d.points)]
+        half = SpatialDataset(inside, half_box, name="half")
+        with pytest.raises(ValueError, match="global domain"):
+            FederatedPrivTree(
+                [ShardCollector(0, 2, uniform_2d), ShardCollector(1, 2, half)]
+            )
+
+    def test_rejects_dims_per_split_mismatch(self, uniform_2d):
+        with pytest.raises(ValueError, match="dims_per_split"):
+            FederatedPrivTree(
+                [
+                    ShardCollector(0, 2, uniform_2d, dims_per_split=1),
+                    ShardCollector(1, 2, uniform_2d, dims_per_split=2),
+                ]
+            )
+
+    def test_rejects_aggregator_size_mismatch(self, uniform_2d):
+        collectors = [ShardCollector(i, 2, uniform_2d) for i in range(2)]
+        with pytest.raises(ValueError, match="aggregator expects 3"):
+            FederatedPrivTree(collectors, SecureAggregator(3))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"tree_fraction": 0.0},
+            {"tree_fraction": 1.0},
+            {"tuples_per_individual": 0},
+            {"count_mechanism": "gaussian"},
+        ],
+    )
+    def test_rejects_bad_fit_parameters(self, uniform_2d, bad):
+        with pytest.raises(ValueError):
+            federated_privtree_histogram(
+                shard_dataset(uniform_2d, 2), epsilon=1.0, rng=0, **bad
+            )
+
+
+class _WireTap(ShardCollector):
+    """A collector that records everything it puts on the wire."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.emitted: list[np.ndarray] = []
+        self.queried: list[list[str]] = []
+
+    def blinded_counts(self, node_ids):
+        share = super().blinded_counts(node_ids)
+        self.queried.append(list(node_ids))
+        self.emitted.append(share.copy())
+        return share
+
+
+class TestNoRawCountExposure:
+    def test_full_fit_never_leaks_a_raw_shard_count(self, clustered_2d):
+        # Run a whole federated fit through instrumented collectors, then
+        # recompute every raw per-shard count the protocol asked about and
+        # assert no wire-visible share ever equalled one.
+        shards = shard_dataset(clustered_2d, 3)
+        taps = [
+            _WireTap(i, 3, shard, blinding_seed=21) for i, shard in enumerate(shards)
+        ]
+        driver = FederatedPrivTree(taps)
+        tree = driver.fit_histogram(1.0, rng=0)
+
+        central = _privtree_histogram(clustered_2d, epsilon=1.0, rng=0)
+        assert tree_to_dict(tree) == tree_to_dict(central)
+
+        for tap, shard in zip(taps, shards):
+            assert tap.emitted, "the protocol must have run rounds"
+            for node_ids, share in zip(tap.queried, tap.emitted):
+                raw = np.array(
+                    [
+                        int(tap._lookup(node_id).score())
+                        for node_id in node_ids
+                    ],
+                    dtype=MASK_DTYPE,
+                )
+                assert share.dtype == MASK_DTYPE
+                assert not np.any(share == raw)

@@ -1,0 +1,214 @@
+"""Tests for continual release: epoch ingestion, windows, budget, storage."""
+
+import numpy as np
+import pytest
+
+from repro.domains import Box
+from repro.federated import EpochLedger, federated_privtree_histogram, shard_dataset
+from repro.mechanisms import BudgetExceededError, PrivacyAccountant
+from repro.serve import ReleaseStore
+from repro.spatial import SpatialDataset
+from repro.spatial.serialize import tree_to_dict
+
+
+def _epoch_shards(epoch, n_shards=3, n=300):
+    gen = np.random.default_rng(1000 + epoch)
+    pts = gen.uniform(0, 1, size=(n, 2)) * 0.999999
+    data = SpatialDataset(pts, Box.unit(2), name=f"epoch{epoch}")
+    return shard_dataset(data, n_shards)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ReleaseStore(tmp_path / "store")
+
+
+def _ledger(store, *, epochs_budget=5, epsilon=0.5, window=2, **kwargs):
+    acct = PrivacyAccountant(epochs_budget * epsilon)
+    return (
+        EpochLedger(
+            store,
+            acct,
+            n_shards=3,
+            epsilon_per_epoch=epsilon,
+            window=window,
+            **kwargs,
+        ),
+        acct,
+    )
+
+
+class TestIngest:
+    def test_rejects_duplicate_epoch(self, store):
+        ledger, _ = _ledger(store)
+        ledger.ingest(0, _epoch_shards(0))
+        with pytest.raises(ValueError, match="already ingested"):
+            ledger.ingest(0, _epoch_shards(0))
+
+    def test_rejects_negative_epoch(self, store):
+        ledger, _ = _ledger(store)
+        with pytest.raises(ValueError, match="non-negative"):
+            ledger.ingest(-1, _epoch_shards(0))
+
+    def test_rejects_wrong_shard_count(self, store):
+        ledger, _ = _ledger(store)
+        with pytest.raises(ValueError, match="3 shards"):
+            ledger.ingest(0, _epoch_shards(0, n_shards=2))
+
+    def test_rejects_domain_drift(self, store):
+        ledger, _ = _ledger(store)
+        ledger.ingest(0, _epoch_shards(0))
+        drifted = [
+            SpatialDataset(s.points * 0.5, Box.unit(2).bisect([0, 1])[0], name=s.name)
+            for s in _epoch_shards(1)
+        ]
+        with pytest.raises(ValueError, match="ledger-wide domain"):
+            ledger.ingest(1, drifted)
+
+    def test_epochs_may_arrive_out_of_order(self, store):
+        ledger, _ = _ledger(store)
+        ledger.ingest(2, _epoch_shards(2))
+        ledger.ingest(0, _epoch_shards(0))
+        assert ledger.ingested_epochs() == [0, 2]
+
+
+class TestRelease:
+    def test_three_epoch_series_composes_the_budget(self, store):
+        ledger, acct = _ledger(store, epochs_budget=3, epsilon=0.5, window=2)
+        remaining = [acct.remaining]
+        for epoch in range(3):
+            ledger.ingest(epoch, _epoch_shards(epoch))
+            ledger.release(epoch, rng=epoch)
+            remaining.append(acct.remaining)
+
+        # One epoch's spend per release, composed sequentially.
+        assert acct.spent == pytest.approx(1.5)
+        assert remaining == [
+            pytest.approx(1.5),
+            pytest.approx(1.0),
+            pytest.approx(0.5),
+            pytest.approx(0.0),
+        ]
+        # Ledger entries are namespaced per epoch; their sums match the
+        # per-epoch spend exactly.
+        for epoch in range(3):
+            labels = [
+                (label, eps)
+                for label, eps in acct.ledger
+                if label.startswith(f"epoch {epoch:04d}/")
+            ]
+            assert [label for label, _ in labels] == [
+                f"epoch {epoch:04d}/privtree/tree structure",
+                f"epoch {epoch:04d}/privtree/leaf counts",
+            ]
+            assert sum(eps for _, eps in labels) == pytest.approx(0.5)
+
+        records = ledger.records
+        assert [r.epoch for r in records] == [0, 1, 2]
+        assert [r.release_id for r in records] == [
+            "epoch-0000",
+            "epoch-0001",
+            "epoch-0002",
+        ]
+        assert records[0].window_epochs == (0,)
+        assert records[1].window_epochs == (0, 1)
+        assert records[2].window_epochs == (1, 2)  # window=2 slides
+
+    def test_release_matches_direct_fit_on_the_window(self, store):
+        # The stored artifact is exactly a federated fit over the window's
+        # concatenated shard slices — same seed, same blinding derivation.
+        ledger, _ = _ledger(store, window=2, blinding_seed=7)
+        shards0, shards1 = _epoch_shards(0), _epoch_shards(1)
+        ledger.ingest(0, shards0)
+        ledger.release(0, rng=0)
+        ledger.ingest(1, shards1)
+        ledger.release(1, rng=1)
+
+        merged = [
+            SpatialDataset(
+                np.concatenate([a.points, b.points]), a.domain, name="window"
+            )
+            for a, b in zip(shards0, shards1)
+        ]
+        expected = federated_privtree_histogram(
+            merged,
+            0.5,
+            rng=1,
+            blinding_seed=(7, 1),
+            label_prefix="epoch 0001/privtree",
+        )
+        stored = store.get("epoch-0001")
+        assert stored.method == "privtree_federated"
+        assert tree_to_dict(stored.tree) == tree_to_dict(expected)
+
+    def test_budget_exhaustion_raises_at_the_right_epoch(self, store):
+        # Budget covers exactly 2 epochs: the third release must fail, spend
+        # nothing, and store nothing.
+        ledger, acct = _ledger(store, epochs_budget=2, epsilon=0.5)
+        for epoch in range(2):
+            ledger.ingest(epoch, _epoch_shards(epoch))
+            ledger.release(epoch, rng=epoch)
+        ledger.ingest(2, _epoch_shards(2))
+        spent_before = acct.spent
+        with pytest.raises(BudgetExceededError):
+            ledger.release(2, rng=2)
+        assert acct.spent == pytest.approx(spent_before)  # transaction rollback
+        assert "epoch-0002" not in store
+        assert [r.epoch for r in ledger.records] == [0, 1]
+
+    def test_release_requires_ingested_data(self, store):
+        ledger, _ = _ledger(store)
+        with pytest.raises(KeyError, match="no ingested data"):
+            ledger.release(0)
+
+    def test_manifest_records_epoch_metadata(self, store):
+        ledger, _ = _ledger(store, window=3, fit_params={"theta": 0.25})
+        for epoch in range(2):
+            ledger.ingest(epoch, _epoch_shards(epoch))
+            ledger.release(epoch, rng=epoch)
+        entry = store.manifest_entry("epoch-0001")
+        assert entry["params"]["epoch"] == 1
+        assert entry["params"]["window_epochs"] == [0, 1]
+        assert entry["params"]["n_shards"] == 3
+        assert entry["params"]["theta"] == 0.25
+
+
+class TestAsOf:
+    def test_as_of_returns_newest_at_or_before(self, store):
+        ledger, _ = _ledger(store, epochs_budget=10)
+        for epoch in (0, 1, 3):
+            ledger.ingest(epoch, _epoch_shards(epoch))
+            ledger.release(epoch, rng=epoch)
+        assert ledger.as_of(0) == "epoch-0000"
+        assert ledger.as_of(2) == "epoch-0001"  # epoch 2 never released
+        assert ledger.as_of(3) == "epoch-0003"
+        assert ledger.as_of(99) == "epoch-0003"
+
+    def test_as_of_before_first_release_raises(self, store):
+        ledger, _ = _ledger(store)
+        with pytest.raises(KeyError, match="no release at or before"):
+            ledger.as_of(0)
+
+    def test_store_latest_agrees_with_as_of_now(self, store):
+        # The serve layer has no EpochLedger object; zero-padded ids make
+        # ReleaseStore.latest its "as of now" — it must agree.
+        ledger, _ = _ledger(store, epochs_budget=10)
+        for epoch in range(4):
+            ledger.ingest(epoch, _epoch_shards(epoch))
+            ledger.release(epoch, rng=epoch)
+        assert store.latest("epoch-") == ledger.as_of(99)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self, store):
+        acct = PrivacyAccountant(1.0)
+        with pytest.raises(ValueError, match="n_shards"):
+            EpochLedger(store, acct, n_shards=1, epsilon_per_epoch=0.5)
+        with pytest.raises(ValueError, match="epsilon_per_epoch"):
+            EpochLedger(store, acct, n_shards=3, epsilon_per_epoch=0.0)
+        with pytest.raises(ValueError, match="window"):
+            EpochLedger(store, acct, n_shards=3, epsilon_per_epoch=0.5, window=0)
+        with pytest.raises(ValueError, match="invalid release id"):
+            EpochLedger(
+                store, acct, n_shards=3, epsilon_per_epoch=0.5, prefix="bad/prefix"
+            )

@@ -16,6 +16,7 @@ class TestParser:
             "methods",
             "query",
             "store",
+            "federated-fit",
             "serve",
             "figure5",
             "figure6",
@@ -138,6 +139,7 @@ class TestCommands:
             "workload_queries",
             "workload_generation",
             "workload_answering",
+            "federated_fit",
             "service_cached_queries",
             "gram_counting",
             "substring_counting",
@@ -146,6 +148,8 @@ class TestCommands:
             "topk_scoring",
             "pst_generation",
         }
+        assert results["cases"]["federated_fit"]["bit_identical_to_centralized"] is True
+        assert results["cases"]["federated_fit"]["overhead_vs_centralized"] > 0
         assert results["cases"]["workload_queries"]["max_abs_deviation"] < 1e-6
         assert results["cases"]["topk_scoring"]["max_abs_deviation"] < 1e-9
         assert results["cases"]["workload_answering"]["speedup"] > 0
@@ -445,3 +449,146 @@ class TestStoreCommand:
         ReleaseStore(tmp_path / "s")
         with pytest.raises(SystemExit, match="unknown release id"):
             main(["store", "get", "--store", str(tmp_path / "s"), "nope"])
+
+
+class TestBenchGate:
+    """The blocking bench regression gate (`--fail-above`)."""
+
+    ARGS = [
+        "bench",
+        "--n", "1500",
+        "--queries", "10",
+        "--sequences", "500",
+        "--synthetic", "100",
+        "--repeats", "1",
+    ]
+
+    def test_fail_above_requires_compare(self):
+        with pytest.raises(SystemExit, match="requires --compare"):
+            main(self.ARGS + ["--fail-above", "1.5"])
+
+    def test_fail_above_rejects_non_slowdown_ratio(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        baseline.write_text('{"cases": {}}')
+        with pytest.raises(SystemExit, match="must exceed 1.0"):
+            main(
+                self.ARGS
+                + ["--compare", str(baseline), "--fail-above", "0.9"]
+            )
+
+    def test_gate_passes_and_fails(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        args = self.ARGS + ["--out", str(out_file)]
+        assert main(args) == 0
+        capsys.readouterr()
+
+        # A generous gate vs the run's own output passes with exit 0.
+        code = main(
+            args + ["--compare", str(out_file), "--fail-above", "1000"]
+        )
+        assert code == 0
+        assert "regression gate passed" in capsys.readouterr().out
+
+        # A doctored 100x-faster baseline makes every case a regression.
+        results = json.loads(out_file.read_text())
+        for case in results["cases"].values():
+            if "optimized_s" in case:
+                case["optimized_s"] /= 100.0
+        fast = tmp_path / "fast.json"
+        fast.write_text(json.dumps(results))
+        code = main(args + ["--compare", str(fast), "--fail-above", "1.5"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+
+class TestFederatedFitCommand:
+    def test_single_fit_matches_centralized_run(self, capsys, tmp_path):
+        """The CLI's headline guarantee: federated == centralized, bit for bit."""
+        import json
+
+        fed_out = tmp_path / "federated.json"
+        code = main(
+            [
+                "federated-fit",
+                "--shards", "3",
+                "--dataset", "gowalla",
+                "--n", "2000",
+                "--epsilon", "1.0",
+                "--seed", "0",
+                "--out", str(fed_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 shard collectors" in out
+        assert "privtree/tree structure" in out
+
+        central_out = tmp_path / "central.json"
+        assert main(
+            [
+                "run",
+                "--method", "privtree",
+                "--dataset", "gowalla",
+                "--n", "2000",
+                "--epsilon", "1.0",
+                "--seed", "0",
+                "--out", str(central_out),
+            ]
+        ) == 0
+        capsys.readouterr()
+        fed = json.loads(fed_out.read_text())
+        central = json.loads(central_out.read_text())
+        assert fed["payload"] == central["payload"]
+
+    def test_epoch_series_persists_store(self, capsys, tmp_path):
+        store = tmp_path / "epochs"
+        code = main(
+            [
+                "federated-fit",
+                "--shards", "3",
+                "--dataset", "gowalla",
+                "--n", "600",
+                "--epsilon", "0.5",
+                "--epochs", "3",
+                "--window", "2",
+                "--store", str(store),
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch-0000" in out and "epoch-0002" in out
+        assert "1.5 spent of 1.5" in out.replace("budget   : ", "")
+
+        from repro.serve import ReleaseStore
+
+        reloaded = ReleaseStore(store, create=False)
+        assert reloaded.ids() == ["epoch-0000", "epoch-0001", "epoch-0002"]
+        assert reloaded.latest("epoch-") == "epoch-0002"
+        entry = reloaded.manifest_entry("epoch-0002")
+        assert entry["params"]["window_epochs"] == [1, 2]
+
+    def test_epochs_require_store(self):
+        with pytest.raises(SystemExit, match="--store is required"):
+            main(
+                [
+                    "federated-fit",
+                    "--shards", "2",
+                    "--dataset", "gowalla",
+                    "--n", "200",
+                    "--epochs", "2",
+                ]
+            )
+
+    def test_rejects_one_shard(self):
+        with pytest.raises(SystemExit, match="at least 2"):
+            main(
+                ["federated-fit", "--shards", "1", "--dataset", "gowalla"]
+            )
+
+    def test_rejects_sequence_dataset(self):
+        with pytest.raises(SystemExit, match="unknown spatial dataset"):
+            main(["federated-fit", "--dataset", "msnbc"])

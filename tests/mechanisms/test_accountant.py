@@ -128,3 +128,53 @@ class TestTransaction:
             acc.spend_fraction(0.0)
         with pytest.raises(ValueError):
             acc.spend_fraction(1.5)
+
+
+class TestMultiEpochComposition:
+    """One accountant across a continual-release series of epochs."""
+
+    EPS = 0.5
+
+    def _run_epochs(self, acc, n):
+        for epoch in range(n):
+            acc.spend(0.6 * self.EPS, f"epoch {epoch:04d}/privtree/tree structure")
+            acc.spend(0.4 * self.EPS, f"epoch {epoch:04d}/privtree/leaf counts")
+
+    def test_epoch_labelled_entries_compose(self):
+        acc = PrivacyAccountant(4 * self.EPS)
+        self._run_epochs(acc, 4)
+        assert acc.spent == pytest.approx(4 * self.EPS)
+        # Every entry carries its epoch namespace, and each epoch's entries
+        # sum to exactly the per-epoch budget.
+        for epoch in range(4):
+            prefix = f"epoch {epoch:04d}/"
+            entries = [eps for label, eps in acc.ledger if label.startswith(prefix)]
+            assert len(entries) == 2
+            assert sum(entries) == pytest.approx(self.EPS)
+
+    def test_remaining_is_monotone_across_epochs(self):
+        acc = PrivacyAccountant(3 * self.EPS)
+        seen = [acc.remaining]
+        for epoch in range(3):
+            self._run_epochs_from(acc, epoch)
+            seen.append(acc.remaining)
+        assert seen == sorted(seen, reverse=True)
+        assert seen[0] == pytest.approx(3 * self.EPS)
+        assert seen[-1] == pytest.approx(0.0)
+
+    def _run_epochs_from(self, acc, epoch):
+        acc.spend(0.6 * self.EPS, f"epoch {epoch:04d}/privtree/tree structure")
+        acc.spend(0.4 * self.EPS, f"epoch {epoch:04d}/privtree/leaf counts")
+
+    def test_exhaustion_raises_at_the_right_epoch(self):
+        # Budget covers exactly two epochs: epoch 2's first spend must be
+        # the one that raises, and the rollback leaves epochs 0-1 intact.
+        acc = PrivacyAccountant(2 * self.EPS)
+        self._run_epochs(acc, 2)
+        with pytest.raises(BudgetExceededError):
+            with acc.transaction():
+                self._run_epochs_from(acc, 2)
+        assert acc.spent == pytest.approx(2 * self.EPS)
+        labels = [label for label, _ in acc.ledger]
+        assert not any(label.startswith("epoch 0002/") for label in labels)
+        assert len(labels) == 4

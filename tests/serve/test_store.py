@@ -102,6 +102,24 @@ class TestManifest:
         with pytest.raises(ValueError, match="not a release-store manifest"):
             ReleaseStore(root).ids()
 
+    def test_latest_picks_the_newest_epoch_id(self, store, uniform_2d):
+        # Zero-padded ids make lexicographic order epoch order, so `latest`
+        # is the serve layer's "as of now" over a continual-release series.
+        release, _ = fit_release("ug", uniform_2d, None)
+        for epoch in (0, 2, 10):
+            store.put(release, release_id=f"epoch-{epoch:04d}")
+        store.put(release, release_id="other-9999")
+        assert store.latest("epoch-") == "epoch-0010"
+        assert store.latest("other-") == "other-9999"
+
+    def test_latest_without_match_raises(self, store, uniform_2d):
+        with pytest.raises(StoreError, match="no release id starts with"):
+            store.latest("epoch-")
+        release, _ = fit_release("ug", uniform_2d, None)
+        store.put(release, release_id="grid-a")
+        with pytest.raises(StoreError, match="grid-a"):
+            store.latest("epoch-")
+
 
 class TestCrashSafety:
     def test_failed_write_preserves_previous_artifact(
