@@ -171,6 +171,54 @@ def build_parser() -> argparse.ArgumentParser:
     fed.add_argument(
         "--out", default=None, help="write the (final) release JSON here"
     )
+    fed.add_argument(
+        "--transport",
+        default="inproc",
+        choices=["inproc", "tcp"],
+        help="inproc: collectors in this process; tcp: real collector "
+        "processes behind the framed TCP protocol",
+    )
+    fed.add_argument(
+        "--collectors",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="with --transport tcp: connect to these running collector "
+        "servers instead of spawning `repro collector-serve` subprocesses",
+    )
+    fed.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a crash-safe checkpoint here after every committed round",
+    )
+    fed.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted fit from --checkpoint (bit-identical "
+        "to an uninterrupted fit; the budget is restored, never re-spent)",
+    )
+
+    coll = sub.add_parser(
+        "collector-serve",
+        help="run one shard's data collector as a long-lived TCP server",
+    )
+    coll.add_argument(
+        "--dataset", required=True, help="spatial dataset name (see `repro datasets`)"
+    )
+    coll.add_argument("--n", type=int, default=None, help="dataset cardinality")
+    coll.add_argument(
+        "--seed", type=int, default=0, help="dataset seed (must match the coordinator)"
+    )
+    coll.add_argument(
+        "--shard-id", type=int, required=True, help="this collector's shard index"
+    )
+    coll.add_argument(
+        "--n-shards", type=int, required=True, help="total number of shards"
+    )
+    coll.add_argument("--host", default="127.0.0.1", help="bind address")
+    coll.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free one)"
+    )
 
     serve_p = sub.add_parser("serve", help="answer batched queries against a store over HTTP")
     serve_p.add_argument("--store", required=True, help="store directory")
@@ -446,10 +494,82 @@ def _run_store(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _collector_command() -> list[str]:
+    """The argv prefix that runs this CLI in a subprocess."""
+    import shutil as _shutil
+    import sys as _sys
+
+    if _shutil.which("repro"):
+        return ["repro"]
+    return [
+        _sys.executable,
+        "-c",
+        "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+    ]
+
+
+def _spawn_collector_procs(args: argparse.Namespace) -> tuple[list, list[tuple[str, int]]]:
+    """One ``repro collector-serve`` subprocess per shard; parse READY lines.
+
+    Each collector regenerates its shard deterministically from the
+    dataset name + seed (round-robin sharding is a pure function of
+    those), so no points ever cross the process boundary.
+    """
+    import os
+    import subprocess
+
+    import repro as _repro
+
+    # The children must import the same repro the parent is running (it
+    # may be a source checkout rather than an installed package).
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(_repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    command = _collector_command()
+    procs, addresses = [], []
+    try:
+        for shard_id in range(args.shards):
+            argv = command + [
+                "collector-serve",
+                "--dataset", args.dataset,
+                "--seed", str(args.seed),
+                "--shard-id", str(shard_id),
+                "--n-shards", str(args.shards),
+                "--port", "0",
+            ]
+            if args.n is not None:
+                argv += ["--n", str(args.n)]
+            proc = subprocess.Popen(
+                argv, stdout=subprocess.PIPE, text=True, bufsize=1, env=env
+            )
+            procs.append(proc)
+        for shard_id, proc in enumerate(procs):
+            line = proc.stdout.readline().strip()
+            if not line.startswith("READY "):
+                raise SystemExit(
+                    f"collector {shard_id} failed to start (got {line!r})"
+                )
+            fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+            addresses.append(("127.0.0.1", int(fields["port"])))
+    except BaseException:
+        for proc in procs:
+            proc.terminate()
+        raise
+    return procs, addresses
+
+
 def _run_federated_fit(args: argparse.Namespace) -> str:
     from .api import SpatialTreeRelease, save_release
     from .datasets import SPATIAL_DATASETS
-    from .federated import EpochLedger, federated_privtree_histogram, shard_dataset
+    from .federated import (
+        EpochLedger,
+        FederatedPrivTree,
+        FitCheckpoint,
+        ShardCollector,
+        connect_collectors,
+        replay_splits,
+        shard_dataset,
+    )
     from .mechanisms import PrivacyAccountant
     from .serve import ReleaseStore
 
@@ -462,6 +582,15 @@ def _run_federated_fit(args: argparse.Namespace) -> str:
             f"unknown spatial dataset {args.dataset!r}; choose from "
             f"{', '.join(sorted(SPATIAL_DATASETS))}"
         )
+    if args.epochs > 1 and (
+        args.transport != "inproc" or args.checkpoint or args.resume
+    ):
+        raise SystemExit(
+            "--transport tcp / --checkpoint / --resume apply to single-epoch "
+            "fits; the epoch ledger drives its own in-process fits"
+        )
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
     spec = SPATIAL_DATASETS[args.dataset]
     params = dict(_parse_param(p) for p in args.param)
     if "epsilon" in params:
@@ -470,22 +599,67 @@ def _run_federated_fit(args: argparse.Namespace) -> str:
     if args.epochs == 1:
         dataset = spec.make(args.n, rng=args.seed)
         accountant = PrivacyAccountant(args.epsilon)
+        checkpoint = FitCheckpoint(args.checkpoint) if args.checkpoint else None
+        procs: list = []
+        clients = None
         try:
-            tree = federated_privtree_histogram(
-                shard_dataset(dataset, args.shards),
-                args.epsilon,
-                rng=args.seed,
-                accountant=accountant,
-                blinding_seed=args.seed,
-                **params,
-            )
-        except TypeError as exc:
-            raise SystemExit(str(exc)) from None
+            if args.transport == "tcp":
+                if args.collectors:
+                    addresses = []
+                    for spec_str in args.collectors.split(","):
+                        host, _, port = spec_str.strip().rpartition(":")
+                        addresses.append((host or "127.0.0.1", int(port)))
+                    if len(addresses) != args.shards:
+                        raise SystemExit(
+                            f"--collectors names {len(addresses)} servers "
+                            f"but --shards is {args.shards}"
+                        )
+                else:
+                    procs, addresses = _spawn_collector_procs(args)
+                session = f"{args.dataset}-seed{args.seed}"
+                clients = connect_collectors(addresses, session=session)
+                driver = FederatedPrivTree(clients)
+            else:
+                collectors = [
+                    ShardCollector(
+                        i, args.shards, shard, blinding_seed=args.seed
+                    )
+                    for i, shard in enumerate(
+                        shard_dataset(dataset, args.shards)
+                    )
+                ]
+                if args.resume:
+                    state = checkpoint.load()
+                    replay_splits(
+                        collectors,
+                        [[str(i) for i in r] for r in state["split_rounds"]],
+                    )
+                driver = FederatedPrivTree(collectors)
+            try:
+                tree = driver.fit_histogram(
+                    args.epsilon,
+                    rng=args.seed,
+                    accountant=accountant,
+                    checkpoint=checkpoint,
+                    resume=args.resume,
+                    **params,
+                )
+            except TypeError as exc:
+                raise SystemExit(str(exc)) from None
+        finally:
+            if clients is not None:
+                for client in clients:
+                    client.finish()
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=10)
         release = SpatialTreeRelease(
             tree, method="privtree_federated", epsilon_spent=args.epsilon
         )
         lines = [
-            f"federated fit: {args.shards} shard collectors, secure aggregation",
+            f"federated fit: {args.shards} shard collectors "
+            f"({args.transport}), secure aggregation",
             f"dataset  : {args.dataset} (n={dataset.n:,}, round-robin sharded)",
             f"release  : {type(release).__name__}, size={release.size:,}",
             f"epsilon  : {release.epsilon_spent:g} spent of {accountant.total_epsilon:g}",
@@ -493,6 +667,8 @@ def _run_federated_fit(args: argparse.Namespace) -> str:
         ]
         for label, eps in accountant.ledger:
             lines.append(f"  {label:30s} {eps:.6g}")
+        if checkpoint is not None:
+            lines.append(f"checkpoint: {checkpoint.path} (phase=done)")
         if args.store:
             store = ReleaseStore(args.store)
             release_id = store.put(
@@ -551,6 +727,50 @@ def _run_federated_fit(args: argparse.Namespace) -> str:
         save_release(store.get(ledger.as_of(args.epochs - 1)), args.out)
         lines.append(f"latest release written to {args.out}")
     return "\n".join(lines)
+
+
+def _run_collector_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .datasets import SPATIAL_DATASETS
+    from .federated import ShardCollector, shard_dataset
+    from .federated.net import CollectorEndpoint, CollectorServer
+
+    if args.n_shards < 2:
+        raise SystemExit(f"--n-shards must be at least 2, got {args.n_shards}")
+    if not 0 <= args.shard_id < args.n_shards:
+        raise SystemExit(
+            f"--shard-id must be in [0, {args.n_shards}), got {args.shard_id}"
+        )
+    if args.dataset not in SPATIAL_DATASETS:
+        raise SystemExit(
+            f"unknown spatial dataset {args.dataset!r}; choose from "
+            f"{', '.join(sorted(SPATIAL_DATASETS))}"
+        )
+    dataset = SPATIAL_DATASETS[args.dataset].make(args.n, rng=args.seed)
+    shard = shard_dataset(dataset, args.n_shards)[args.shard_id]
+    collector = ShardCollector(
+        args.shard_id, args.n_shards, shard, blinding_seed=args.seed
+    )
+    server = CollectorServer((args.host, args.port), CollectorEndpoint(collector))
+
+    def _stop(signum: int, frame: object) -> None:
+        # shutdown() blocks until serve_forever returns, so it must run
+        # off the signal-handling (main) thread to avoid a deadlock.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(
+        f"READY shard={args.shard_id} port={server.port} n={shard.n}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -700,6 +920,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_run_store(args))
     elif args.command == "federated-fit":
         print(_run_federated_fit(args))
+    elif args.command == "collector-serve":
+        return _run_collector_serve(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "figure5":
@@ -750,3 +972,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "datasets":
         print(_run_datasets())
     return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - `python -m repro.cli`
+    import sys
+
+    sys.exit(main())

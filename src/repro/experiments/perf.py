@@ -31,7 +31,11 @@ from ..core.node import DecompositionTree, TreeNode
 from ..core.params import PrivTreeParams
 from ..datasets.sequence import msnbclike
 from ..datasets.spatial import gowallalike
-from ..federated.driver import federated_privtree_histogram, shard_dataset
+from ..federated.driver import (
+    FederatedPrivTree,
+    federated_privtree_histogram,
+    shard_dataset,
+)
 from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import ensure_rng
 from ..sequence.metrics import length_distribution, total_variation_distance
@@ -493,6 +497,45 @@ def run_perf_bench(
             "federated fit deviates from the centralized release"
         )
 
+    # The same fit through the full TCP transport stack — real sockets,
+    # framed messages, key exchange, retry engine — against collector
+    # servers in this process.  Times the wire overhead per fit and guards
+    # the transport's bit-identity the same way the in-process case does.
+    def _tcp_fit() -> HistogramTree:
+        from ..federated.collector import ShardCollector
+        from ..federated.net import (
+            CollectorEndpoint,
+            CollectorServer,
+            connect_collectors,
+        )
+
+        servers, addresses = [], []
+        try:
+            for i, shard in enumerate(shard_dataset(data, n_shards)):
+                server = CollectorServer(
+                    ("127.0.0.1", 0),
+                    CollectorEndpoint(ShardCollector(i, n_shards, shard)),
+                )
+                server.serve_in_thread()
+                servers.append(server)
+                addresses.append(("127.0.0.1", server.port))
+            clients = connect_collectors(addresses, session="perf")
+            driver = FederatedPrivTree(clients)
+            tree = driver.fit_histogram(epsilon, rng=rng)
+            for client in clients:
+                client.finish()
+            return tree
+        finally:
+            for server in servers:
+                server.shutdown()
+                server.server_close()
+
+    fed_tcp_s, fed_tcp_tree = _best_of(repeats, _tcp_fit)
+    if tree_to_dict(fed_tcp_tree) != tree_to_dict(synopsis):
+        raise AssertionError(
+            "TCP federated fit deviates from the centralized release"
+        )
+
     service_case = run_service_perf_bench(
         synopsis, queries, epsilon=epsilon, repeats=repeats
     )
@@ -560,6 +603,16 @@ def run_perf_bench(
                 "optimized_s": fed_s,
                 "centralized_s": build_s,
                 "overhead_vs_centralized": fed_s / build_s,
+                "bit_identical_to_centralized": True,
+            },
+            "federated_fit_tcp": {
+                "workload": (
+                    f"{n_shards} collector servers over framed TCP "
+                    "(hello + key exchange + all rounds)"
+                ),
+                "optimized_s": fed_tcp_s,
+                "inproc_s": fed_s,
+                "overhead_vs_inproc": fed_tcp_s / fed_s,
                 "bit_identical_to_centralized": True,
             },
             "workload_answering": {

@@ -24,6 +24,15 @@ through one shared :class:`~repro.mechanisms.PrivacyAccountant`, and one
 stored artifact per epoch in a :class:`~repro.serve.ReleaseStore` so the
 serve layer answers "as of epoch t" queries.
 
+The fault-tolerance layer takes the fit out of process:
+:mod:`~repro.federated.transport` (length-prefixed frames, retry policy,
+Diffie-Hellman pair seeds), :mod:`~repro.federated.net` (the TCP
+:class:`CollectorServer` / :class:`ProtocolClient` pair plus an in-process
+:class:`LoopbackChannel` with identical semantics),
+:mod:`~repro.federated.checkpoint` (crash-safe resume with zero budget
+double-spend), :mod:`~repro.federated.errors` (typed protocol failures),
+and :mod:`~repro.federated.faults` (the deterministic chaos harness).
+
 Example — three in-process collectors, one private release::
 
     from repro.datasets import gowallalike
@@ -36,21 +45,70 @@ Example — three in-process collectors, one private release::
 
 from .aggregator import SecureAggregator
 from .blinding import MASK_DTYPE, PairwiseBlinder, pair_index
+from .checkpoint import FitCheckpoint
 from .collector import ROOT_NODE_ID, ShardCollector, child_node_id
-from .driver import FederatedPrivTree, federated_privtree_histogram, shard_dataset
+from .driver import (
+    FederatedPrivTree,
+    federated_privtree_histogram,
+    replay_splits,
+    shard_dataset,
+)
+from .errors import (
+    CheckpointError,
+    CollectorCrashError,
+    CollectorTimeoutError,
+    FederatedProtocolError,
+    FrameCorruptError,
+    InjectedCoordinatorCrash,
+    KeyExchangeError,
+    RoundMismatchError,
+    ShardDesyncError,
+    ShareShapeError,
+)
+from .faults import FaultInjector, FaultPlan
 from .ledger import EpochLedger, EpochRecord
+from .net import (
+    CollectorEndpoint,
+    CollectorServer,
+    LoopbackChannel,
+    ProtocolClient,
+    connect_collectors,
+    loopback_collectors,
+)
+from .transport import RetryPolicy
 
 __all__ = [
+    "CheckpointError",
+    "CollectorCrashError",
+    "CollectorEndpoint",
+    "CollectorServer",
+    "CollectorTimeoutError",
     "EpochLedger",
     "EpochRecord",
+    "FaultInjector",
+    "FaultPlan",
     "FederatedPrivTree",
+    "FederatedProtocolError",
+    "FitCheckpoint",
+    "FrameCorruptError",
+    "InjectedCoordinatorCrash",
+    "KeyExchangeError",
+    "LoopbackChannel",
     "MASK_DTYPE",
     "PairwiseBlinder",
+    "ProtocolClient",
     "ROOT_NODE_ID",
+    "RetryPolicy",
+    "RoundMismatchError",
     "SecureAggregator",
     "ShardCollector",
+    "ShardDesyncError",
+    "ShareShapeError",
     "child_node_id",
+    "connect_collectors",
     "federated_privtree_histogram",
+    "loopback_collectors",
     "pair_index",
+    "replay_splits",
     "shard_dataset",
 ]

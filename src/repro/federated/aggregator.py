@@ -6,6 +6,13 @@ pairwise blinding the algebra collapses into one step — add every shard's
 leaving the exact global per-node counts.  The aggregator sees only blinded
 vectors (each one uniformly distributed on its own), never a raw per-shard
 histogram.
+
+Every validation failure is a typed
+:class:`~repro.federated.errors.FederatedProtocolError` naming the
+offending shard, the round, and the expected-vs-got values — an operator
+debugging a desynced deployment needs to know *which* shard to restart,
+not just that the sum was garbage.  (The typed errors also subclass
+``ValueError`` so pre-existing callers keep working.)
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from .blinding import MASK_DTYPE
+from .errors import ShardDesyncError, ShareShapeError
 
 __all__ = ["SecureAggregator"]
 
@@ -41,37 +49,67 @@ class SecureAggregator:
         self.n_shards = n_shards
         self.rounds = 0
 
-    def aggregate(self, shares: Sequence[np.ndarray]) -> np.ndarray:
+    def aggregate(
+        self,
+        shares: Sequence[np.ndarray],
+        *,
+        node_ids: Sequence[str] | None = None,
+        round_index: int | None = None,
+    ) -> np.ndarray:
         """Exact global counts from one round of blinded shares.
 
         ``shares`` holds one ``uint64`` vector per shard, all the same
-        length (one entry per queried node).  Returns the recovered counts
-        as ``int64``.
+        length (one entry per queried node).  ``node_ids`` (when given)
+        pins the expected vector length to the queried node list, and
+        ``round_index`` labels errors with the protocol round; neither
+        affects the arithmetic.  Returns the recovered counts as
+        ``int64``.
         """
+        rnd = self.rounds if round_index is None else round_index
         if len(shares) != self.n_shards:
-            raise ValueError(
-                f"expected shares from {self.n_shards} shards, got {len(shares)}"
+            raise ShareShapeError(
+                f"round {rnd}: expected shares from {self.n_shards} shards, "
+                f"got {len(shares)}",
+                round_index=rnd,
             )
         arrays = [np.asarray(s) for s in shares]
-        length = arrays[0].shape[0] if arrays else 0
+        length = len(node_ids) if node_ids is not None else (
+            arrays[0].shape[0] if arrays else 0
+        )
         for i, arr in enumerate(arrays):
             if arr.dtype != MASK_DTYPE or arr.ndim != 1:
-                raise ValueError(
-                    f"shard {i} reported dtype {arr.dtype}/{arr.ndim}-d shares; "
-                    "expected a 1-d uint64 vector"
+                raise ShareShapeError(
+                    f"round {rnd}: shard {i} reported dtype "
+                    f"{arr.dtype}/{arr.ndim}-d shares; expected a 1-d "
+                    "uint64 vector",
+                    shard_id=i,
+                    round_index=rnd,
                 )
             if arr.shape[0] != length:
-                raise ValueError(
-                    f"shard {i} reported {arr.shape[0]} shares but shard 0 "
-                    f"reported {length}; rounds must be aligned"
+                expected_from = (
+                    f"{length} queried nodes" if node_ids is not None
+                    else f"shard 0's {length}"
+                )
+                raise ShareShapeError(
+                    f"round {rnd}: shard {i} reported {arr.shape[0]} shares "
+                    f"but {expected_from} were expected; rounds must be aligned",
+                    shard_id=i,
+                    round_index=rnd,
                 )
         total = np.zeros(length, dtype=MASK_DTYPE)
         for arr in arrays:
             total += arr  # wraps mod 2^64: the ring addition of the scheme
         if length and total.max() >= _MAX_COUNT:
-            raise ValueError(
-                "aggregated count >= 2^63: mask streams out of sync "
-                "(a shard skipped a round or used a different blinding seed)"
+            worst = int(np.argmax(total))
+            at = (
+                f" at node {node_ids[worst]!r}" if node_ids is not None else ""
+            )
+            raise ShardDesyncError(
+                f"round {rnd}: aggregated count {int(total[worst])}{at} is "
+                ">= 2^63: mask streams out of sync (a shard skipped a round, "
+                "replayed one, or used a different blinding seed); "
+                "the round was aborted, nothing was released",
+                round_index=rnd,
             )
         self.rounds += 1
         return total.astype(np.int64)

@@ -25,6 +25,8 @@ scheme needs.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from ..mechanisms.rng import SeedLike, spawn_streams
@@ -87,6 +89,37 @@ class PairwiseBlinder:
             for pair, stream in zip(pairs, streams)
             if shard_id in pair
         ]
+
+    @classmethod
+    def from_pair_seeds(
+        cls,
+        shard_id: int,
+        n_shards: int,
+        pair_seeds: Mapping[tuple[int, int], SeedLike],
+    ) -> "PairwiseBlinder":
+        """A blinder whose pair streams come from *explicit* per-pair seeds.
+
+        This is the key-exchange path: each unordered pair ``(i, j)``
+        agrees on its own seed (e.g. derived from a Diffie-Hellman shared
+        secret, :func:`repro.federated.transport.derive_pair_seed`)
+        instead of every pair deriving from one shared ``blinding_seed``.
+        ``pair_seeds`` must cover exactly the pairs this shard belongs to;
+        both members of a pair must supply the same seed or their masks
+        will not cancel (which the aggregator's desync guard reports).
+        """
+        blinder = cls(shard_id, n_shards, blinding_seed=0)
+        expected = {pair for pair, _ in blinder._pair_streams}
+        normalized = {(min(p), max(p)): seed for p, seed in pair_seeds.items()}
+        if set(normalized) != expected:
+            raise ValueError(
+                f"shard {shard_id} needs seeds for pairs {sorted(expected)}, "
+                f"got {sorted(normalized)}"
+            )
+        blinder._pair_streams = [
+            (pair, np.random.default_rng(normalized[pair]))
+            for pair in sorted(expected)
+        ]
+        return blinder
 
     def masks(self, k: int) -> np.ndarray:
         """The next ``k`` combined masks for one aggregation round.

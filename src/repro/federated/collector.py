@@ -20,6 +20,8 @@ centralized one.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from ..domains.box import Box
@@ -78,6 +80,7 @@ class ShardCollector:
         self._payloads: dict[str, SpatialNodeData] = {ROOT_NODE_ID: root}
         self._domain = dataset.domain
         self._n_points = dataset.n
+        self._rounds_served = 0
 
     @property
     def domain(self) -> Box:
@@ -96,6 +99,24 @@ class ShardCollector:
         """Dimensions bisected per split (fanout β = 2^dims_per_split)."""
         return self._payloads[ROOT_NODE_ID].dims_per_split
 
+    def rekey(self, pair_seeds: Mapping[tuple[int, int], int]) -> None:
+        """Replace the derived-stream blinder with key-exchange pair seeds.
+
+        Called once after the transport's Diffie-Hellman exchange, before
+        the first counts round; the aggregate is unchanged (masks cancel
+        for any consistent seeds), only the seeds' provenance differs.
+        Rekeying after a round has been answered would desynchronize the
+        pair streams, so it is refused.
+        """
+        if self._rounds_served:
+            raise RuntimeError(
+                f"shard {self.shard_id} cannot rekey after answering "
+                f"{self._rounds_served} round(s); mask streams would desync"
+            )
+        self._blinder = PairwiseBlinder.from_pair_seeds(
+            self.shard_id, self.n_shards, pair_seeds
+        )
+
     def blinded_counts(self, node_ids: list[str]) -> np.ndarray:
         """Blinded shares of this shard's counts for ``node_ids``.
 
@@ -107,6 +128,7 @@ class ShardCollector:
         for i, node_id in enumerate(node_ids):
             payload = self._lookup(node_id)
             counts[i] = int(payload.score())
+        self._rounds_served += 1
         return self._blinder.blind(counts)
 
     def apply_splits(self, node_ids: list[str]) -> None:
@@ -115,7 +137,11 @@ class ShardCollector:
         Splits every named node's local payload (one vectorized pass over
         the whole level via ``split_many``) and registers the children under
         their canonical ids.  Raises ``KeyError`` on an unknown id — a
-        protocol error, not a data condition.
+        protocol error, not a data condition.  Re-applying a split the
+        collector has already performed is an idempotent no-op producing
+        identical children (splitting is deterministic in the parent
+        payload), which is what lets a resumed coordinator safely replay
+        its last uncommitted round.
         """
         payloads = [self._lookup(node_id) for node_id in node_ids]
         children_lists = SpatialNodeData.split_many(payloads)

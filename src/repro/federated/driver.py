@@ -39,9 +39,17 @@ from ..mechanisms.rng import RngLike, SeedLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
 from ..spatial.histogram_tree import HistogramNode, HistogramTree
 from .aggregator import SecureAggregator
+from .checkpoint import FitCheckpoint, restore_rng, rng_state
 from .collector import ROOT_NODE_ID, ShardCollector, child_node_id
+from .errors import CheckpointError
+from .faults import FaultInjector
 
-__all__ = ["FederatedPrivTree", "federated_privtree_histogram", "shard_dataset"]
+__all__ = [
+    "FederatedPrivTree",
+    "federated_privtree_histogram",
+    "replay_splits",
+    "shard_dataset",
+]
 
 
 def shard_dataset(dataset: SpatialDataset, n_shards: int) -> list[SpatialDataset]:
@@ -129,10 +137,14 @@ class FederatedPrivTree:
     def fanout(self) -> int:
         return 2 ** self.dims_per_split
 
-    def _aggregate_counts(self, node_ids: list[str]) -> np.ndarray:
+    def _aggregate_counts(
+        self, node_ids: list[str], *, round_index: int | None = None
+    ) -> np.ndarray:
         """One protocol round: exact global counts for ``node_ids``."""
         shares = [c.blinded_counts(node_ids) for c in self.collectors]
-        return self.aggregator.aggregate(shares)
+        return self.aggregator.aggregate(
+            shares, node_ids=node_ids, round_index=round_index
+        )
 
     def fit_histogram(
         self,
@@ -146,6 +158,9 @@ class FederatedPrivTree:
         max_depth: int | None = DEFAULT_MAX_DEPTH,
         accountant: PrivacyAccountant | None = None,
         label_prefix: str = "privtree",
+        checkpoint: FitCheckpoint | None = None,
+        resume: bool = False,
+        fault_injector: FaultInjector | None = None,
     ) -> HistogramTree:
         """The full §3.3–§3.4 pipeline over aggregated shard counts.
 
@@ -153,6 +168,29 @@ class FederatedPrivTree:
         exactly (``label_prefix`` additionally namespaces the ledger entries,
         e.g. per epoch); the returned tree is bit-identical to running that
         function on the concatenated shard data with the same ``rng``.
+
+        Robustness extensions:
+
+        checkpoint:
+            A :class:`~repro.federated.checkpoint.FitCheckpoint`.  When
+            given, the coordinator serializes its replay state (pending
+            frontier, committed splits, noise-stream position, accountant
+            ledger, round log) after every committed round, atomically.
+        resume:
+            Continue an interrupted fit from ``checkpoint`` instead of
+            starting over.  The accountant ledger is *restored*, never
+            re-spent, and the noise stream continues from its saved
+            position, so the resumed release is bit-identical to an
+            uninterrupted fit.  ``rng`` is ignored on resume (the stream
+            position comes from the checkpoint) and the passed-in (or
+            fresh) ``accountant`` must be unspent.  Remote collectors are
+            re-synced to the checkpoint's next round id; fresh in-process
+            collectors must first be rebuilt via :func:`replay_splits`.
+        fault_injector:
+            Hook for the deterministic chaos harness: its
+            ``coordinator_tick`` runs after each round's aggregation and
+            *before* the commit — the widest crash window — so tests can
+            simulate ``kill -9`` at any chosen round.
         """
         if tuples_per_individual < 1:
             raise ValueError(
@@ -165,76 +203,122 @@ class FederatedPrivTree:
             )
         if not 0 < tree_fraction < 1:
             raise ValueError(f"tree_fraction must be in (0, 1), got {tree_fraction!r}")
-        gen = ensure_rng(rng)
+        config = {
+            "epsilon": epsilon,
+            "theta": theta,
+            "tree_fraction": tree_fraction,
+            "tuples_per_individual": tuples_per_individual,
+            "count_mechanism": count_mechanism,
+            "max_depth": max_depth,
+            "dims_per_split": self.dims_per_split,
+            "domain": {"low": list(self.domain.low), "high": list(self.domain.high)},
+            "label_prefix": label_prefix,
+            "n_collectors": len(self.collectors),
+        }
+        eps_tree = tree_fraction * epsilon
+        eps_counts = (1.0 - tree_fraction) * epsilon
         if accountant is None:
             accountant = PrivacyAccountant(epsilon)
-        eps_tree = accountant.spend(
-            tree_fraction * epsilon, f"{label_prefix}/tree structure"
-        )
-        eps_counts = accountant.spend(
-            (1.0 - tree_fraction) * epsilon, f"{label_prefix}/leaf counts"
-        )
-        params = PrivTreeParams.calibrate(
-            eps_tree,
-            fanout=self.fanout,
-            sensitivity=float(tuples_per_individual),
-            theta=theta,
-        )
 
-        root = self._grow_tree(params, gen, max_depth)
-
-        # Leaf counts: same DFS left-to-right order and the same one-batch
-        # noise draw as the in-memory pipeline; the exact counts arrive as
-        # one last aggregation round instead of local window sizes.
-        nodes = _preorder(root)
-        leaves = [node for node in nodes if not node.children]
-        exact = self._aggregate_counts([leaf.node_id for leaf in leaves])
-        if count_mechanism == "laplace":
-            count_scale = tuples_per_individual / eps_counts
-            noisy = exact.astype(float) + laplace_noise(
-                count_scale, size=len(leaves), rng=gen
+        if resume:
+            if checkpoint is None:
+                raise CheckpointError("resume=True requires a checkpoint")
+            state = checkpoint.load()
+            if state["config"] != config:
+                raise CheckpointError(
+                    "checkpoint was written by a fit with different "
+                    f"parameters: {state['config']} vs {config}"
+                )
+            if state["phase"] == "done":
+                raise CheckpointError(
+                    f"{checkpoint.path} records a completed fit; nothing to resume"
+                )
+            accountant.restore(
+                [(str(label), float(eps)) for label, eps in state["ledger"]]
             )
-        else:
-            noisy = exact + geometric_noise_interleaved(
-                eps_counts,
-                len(leaves),
-                sensitivity=float(tuples_per_individual),
-                rng=gen,
+            gen = restore_rng(state["rng"])
+            split_rounds = [[str(i) for i in r] for r in state["split_rounds"]]
+            root, nodes_by_id = _rebuild_frontier(
+                self.domain, self.dims_per_split, split_rounds
             )
-        leaf_counts = {leaf.node_id: float(value) for leaf, value in zip(leaves, noisy)}
-
-        # Assemble the released tree exactly like quadtree._release_histogram:
-        # leaves get their noisy counts, internal nodes the sum of children.
-        released: dict[str, HistogramNode] = {}
-        for node in reversed(nodes):
-            children = [released[c.node_id] for c in node.children]
-            if not node.children:
-                count = leaf_counts[node.node_id]
-            else:
-                count = sum(c.count for c in children)
-            released[node.node_id] = HistogramNode(
-                box=node.box, count=count, children=children
+            try:
+                level = [nodes_by_id[str(i)] for i in state["level_ids"]]
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"checkpoint frontier references unknown node {exc.args[0]!r}"
+                ) from None
+            next_round = int(state["next_round"])
+            round_log = list(state["round_log"])
+            for collector in self.collectors:
+                sync = getattr(collector, "sync_round", None)
+                if sync is not None:
+                    sync(next_round)
+            return self._run_rounds(
+                config, eps_tree, eps_counts, gen, accountant,
+                level=level, root=root, split_rounds=split_rounds,
+                next_round=next_round, round_log=round_log,
+                checkpoint=checkpoint, fault_injector=fault_injector,
             )
-        return HistogramTree(root=released[root.node_id])
 
-    def _grow_tree(
-        self,
-        params: PrivTreeParams,
-        gen: np.random.Generator,
-        max_depth: int | None,
-    ) -> _FrontierNode:
-        """Algorithm 2's level-batched frontier, counts via aggregation.
-
-        Mirrors :func:`repro.core.privtree.privtree` line for line —
-        eligibility, the one-batch-per-level noise draw, the biased-score
-        threshold test, the max-depth guard — with ``score(v)`` supplied by
-        one aggregation round over the eligible nodes.
-        """
-        dims_per_split = self.dims_per_split
+        gen = ensure_rng(rng)
         root = _FrontierNode(
             node_id=ROOT_NODE_ID, box=self.domain, depth=0, next_dim=0
         )
-        level = [root]
+        # The whole fit is one budget transaction: if any round aborts
+        # (collector timeout, crash injection, exhaustion mid-fit), the
+        # in-memory ledger rolls back — an aborted fit releases nothing and
+        # must spend nothing.  The *checkpoint* ledger persists for resume:
+        # a crashed-and-resumed fit restores its spends instead of
+        # re-spending them.
+        with accountant.transaction():
+            accountant.spend(eps_tree, f"{label_prefix}/tree structure")
+            accountant.spend(eps_counts, f"{label_prefix}/leaf counts")
+            if checkpoint is not None:
+                checkpoint.save(
+                    _fit_state(
+                        "grow", 0, [root.node_id], [], gen, accountant,
+                        config, [],
+                    )
+                )
+            return self._run_rounds(
+                config, eps_tree, eps_counts, gen, accountant,
+                level=[root], root=root, split_rounds=[],
+                next_round=0, round_log=[],
+                checkpoint=checkpoint, fault_injector=fault_injector,
+            )
+
+    def _run_rounds(
+        self,
+        config: dict,
+        eps_tree: float,
+        eps_counts: float,
+        gen: np.random.Generator,
+        accountant: PrivacyAccountant,
+        *,
+        level: list["_FrontierNode"],
+        root: "_FrontierNode",
+        split_rounds: list[list[str]],
+        next_round: int,
+        round_log: list[dict],
+        checkpoint: FitCheckpoint | None,
+        fault_injector: FaultInjector | None,
+    ) -> HistogramTree:
+        """Algorithm 2's level-batched frontier as committed rounds.
+
+        Mirrors :func:`repro.core.privtree.privtree` line for line —
+        eligibility, the one-batch-per-level noise draw, the biased-score
+        threshold test, the max-depth guard — with ``score(v)`` supplied
+        by one aggregation round over the eligible nodes, and one atomic
+        checkpoint commit per completed level.
+        """
+        params = PrivTreeParams.calibrate(
+            eps_tree,
+            fanout=self.fanout,
+            sensitivity=float(config["tuples_per_individual"]),
+            theta=config["theta"],
+        )
+        dims_per_split = self.dims_per_split
+        max_depth = config["max_depth"]
         guard_hit = False
         floor = params.floor()
         while level:
@@ -248,15 +332,20 @@ class FederatedPrivTree:
                 eligible.append(node)
             if not eligible:
                 break
-            counts = self._aggregate_counts([node.node_id for node in eligible])
+            counts = self._aggregate_counts(
+                [node.node_id for node in eligible], round_index=next_round
+            )
+            if fault_injector is not None:
+                fault_injector.coordinator_tick(next_round)
             noise = laplace_noise(params.lam, size=len(eligible), rng=gen)
             to_split: list[_FrontierNode] = []
             for node, count, perturbation in zip(eligible, counts, noise):
                 biased = max(floor, float(count) - node.depth * params.delta)
                 if biased + perturbation > params.theta:
                     to_split.append(node)
+            to_split_ids = [node.node_id for node in to_split]
             for collector in self.collectors:
-                collector.apply_splits([node.node_id for node in to_split])
+                collector.apply_splits(to_split_ids)
             next_level: list[_FrontierNode] = []
             for node in to_split:
                 dims = node.split_dims(dims_per_split)
@@ -271,7 +360,22 @@ class FederatedPrivTree:
                     for j, child_box in enumerate(node.box.bisect(dims))
                 ]
                 next_level.extend(node.children)
+            round_log.append(
+                {"round": next_round, "kind": "counts", "n_nodes": len(eligible)}
+            )
+            round_log.append(
+                {"round": next_round + 1, "kind": "splits", "n_nodes": len(to_split_ids)}
+            )
+            next_round += 2
+            split_rounds.append(to_split_ids)
             level = next_level
+            if checkpoint is not None:
+                checkpoint.save(
+                    _fit_state(
+                        "grow", next_round, [n.node_id for n in level],
+                        split_rounds, gen, accountant, config, round_log,
+                    )
+                )
         if guard_hit:
             warnings.warn(
                 f"PrivTree hit the max_depth={max_depth} guard; the decomposition "
@@ -279,7 +383,56 @@ class FederatedPrivTree:
                 MaxDepthWarning,
                 stacklevel=3,
             )
-        return root
+
+        # Leaf counts: same DFS left-to-right order and the same one-batch
+        # noise draw as the in-memory pipeline; the exact counts arrive as
+        # one last aggregation round instead of local window sizes.
+        nodes = _preorder(root)
+        leaves = [node for node in nodes if not node.children]
+        exact = self._aggregate_counts(
+            [leaf.node_id for leaf in leaves], round_index=next_round
+        )
+        if fault_injector is not None:
+            fault_injector.coordinator_tick(next_round)
+        tuples_per_individual = config["tuples_per_individual"]
+        if config["count_mechanism"] == "laplace":
+            count_scale = tuples_per_individual / eps_counts
+            noisy = exact.astype(float) + laplace_noise(
+                count_scale, size=len(leaves), rng=gen
+            )
+        else:
+            noisy = exact + geometric_noise_interleaved(
+                eps_counts,
+                len(leaves),
+                sensitivity=float(tuples_per_individual),
+                rng=gen,
+            )
+        leaf_counts = {leaf.node_id: float(value) for leaf, value in zip(leaves, noisy)}
+        round_log.append(
+            {"round": next_round, "kind": "counts", "n_nodes": len(leaves)}
+        )
+        next_round += 1
+
+        # Assemble the released tree exactly like quadtree._release_histogram:
+        # leaves get their noisy counts, internal nodes the sum of children.
+        released: dict[str, HistogramNode] = {}
+        for node in reversed(nodes):
+            children = [released[c.node_id] for c in node.children]
+            if not node.children:
+                count = leaf_counts[node.node_id]
+            else:
+                count = sum(c.count for c in children)
+            released[node.node_id] = HistogramNode(
+                box=node.box, count=count, children=children
+            )
+        if checkpoint is not None:
+            checkpoint.save(
+                _fit_state(
+                    "done", next_round, [], split_rounds, gen, accountant,
+                    config, round_log,
+                )
+            )
+        return HistogramTree(root=released[root.node_id])
 
 
 def _preorder(root: _FrontierNode) -> list[_FrontierNode]:
@@ -291,6 +444,86 @@ def _preorder(root: _FrontierNode) -> list[_FrontierNode]:
         out.append(node)
         stack.extend(reversed(node.children))
     return out
+
+
+def _fit_state(
+    phase: str,
+    next_round: int,
+    level_ids: list[str],
+    split_rounds: list[list[str]],
+    gen: np.random.Generator,
+    accountant: PrivacyAccountant,
+    config: dict,
+    round_log: list[dict],
+) -> dict:
+    """One committed round's complete replay state, JSON-shaped."""
+    return {
+        "phase": phase,
+        "next_round": next_round,
+        "level_ids": list(level_ids),
+        "split_rounds": [list(r) for r in split_rounds],
+        "rng": rng_state(gen),
+        "ledger": [[label, eps] for label, eps in accountant.ledger],
+        "config": config,
+        "round_log": list(round_log),
+    }
+
+
+def _rebuild_frontier(
+    domain: Box,
+    dims_per_split: int,
+    split_rounds: list[list[str]],
+) -> tuple[_FrontierNode, dict[str, _FrontierNode]]:
+    """Replay committed split decisions into a coordinator frontier.
+
+    Node ids encode the split path (``v1.0.2…``) and splitting is pure
+    geometry, so the committed per-level split lists are a complete record
+    of the tree grown so far: bisecting each recorded node in order
+    reproduces every box, depth, and ``next_dim`` exactly.
+    """
+    root = _FrontierNode(node_id=ROOT_NODE_ID, box=domain, depth=0, next_dim=0)
+    nodes: dict[str, _FrontierNode] = {root.node_id: root}
+    for round_ids in split_rounds:
+        for node_id in round_ids:
+            try:
+                node = nodes[node_id]
+            except KeyError:
+                raise CheckpointError(
+                    f"checkpoint split log references unknown node {node_id!r}"
+                ) from None
+            dims = node.split_dims(dims_per_split)
+            next_dim = (node.next_dim + dims_per_split) % node.box.ndim
+            node.children = [
+                _FrontierNode(
+                    node_id=child_node_id(node.node_id, j),
+                    box=child_box,
+                    depth=node.depth + 1,
+                    next_dim=next_dim,
+                )
+                for j, child_box in enumerate(node.box.bisect(dims))
+            ]
+            for child in node.children:
+                nodes[child.node_id] = child
+    return root, nodes
+
+
+def replay_splits(
+    collectors: Sequence[ShardCollector], split_rounds: list[list[str]]
+) -> None:
+    """Replay committed splits onto *fresh* in-process collectors.
+
+    An in-process resume rebuilds its collectors from the shard data, so
+    their payload trees must be grown back to the checkpointed frontier
+    before the fit continues.  Splitting is deterministic in the parent
+    payload, so the replayed trees match the pre-crash ones exactly.  The
+    TCP transport never needs this: its collectors are long-lived
+    processes that kept their trees (and their mask-stream positions).
+    """
+    for round_ids in split_rounds:
+        if not round_ids:
+            continue
+        for collector in collectors:
+            collector.apply_splits(round_ids)
 
 
 def federated_privtree_histogram(

@@ -1,0 +1,157 @@
+"""Deterministic fault injection for the federated transport.
+
+Robustness claims are only as good as the failure matrix they were tested
+against, so the transport takes an optional :class:`FaultInjector` that
+drops, delays, duplicates, and corrupts frames — and kills collectors or
+the coordinator at chosen rounds — all *deterministically* from a seed
+(child streams of :func:`repro.mechanisms.rng.spawn_streams`, one per
+fault kind).  The same :class:`FaultPlan` + seed always injects the same
+faults at the same frames, which is what lets tier-1 tests assert exact
+outcomes ("the fit under these faults is bit-identical") instead of
+flaking on probabilities.
+
+The injector is pluggable into both the real TCP channel and the
+in-process loopback channel (:mod:`repro.federated.net`), so the whole
+matrix runs in-process in milliseconds and again over real sockets in the
+chaos smoke.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..mechanisms.rng import SeedLike, spawn_streams
+from .errors import InjectedCoordinatorCrash
+
+__all__ = ["FaultInjector", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, expressed as per-frame probabilities and kill rounds.
+
+    Parameters
+    ----------
+    drop, delay, duplicate, corrupt:
+        Per-frame probabilities in ``[0, 1]`` for each retriable fault.
+        A dropped frame is simply never delivered (the receiver times
+        out); a delayed frame sleeps ``delay_s`` before delivery; a
+        duplicated frame is delivered twice back to back; a corrupted
+        frame has one payload byte flipped (the checksum catches it).
+    delay_s:
+        Wall-clock sleep applied to delayed frames.  Keep tiny in tests.
+    kill_collector_at_round:
+        ``{shard_id: round_index}``: the named collector's channel dies
+        permanently the first time it handles a frame of that round —
+        every later send/receive raises ``ConnectionError``, like a
+        crashed process.
+    crash_coordinator_at_round:
+        Simulate ``kill -9`` of the coordinator: the driver's fault tick
+        raises :class:`~repro.federated.errors.InjectedCoordinatorCrash`
+        *after* that round's aggregation but *before* its checkpoint
+        commit — the widest crash window, forcing resume to redo the
+        round.
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay_s: float = 0.002
+    kill_collector_at_round: dict[int, int] = field(default_factory=dict)
+    crash_coordinator_at_round: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate", "corrupt"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {self.delay_s!r}")
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a stream of frames, deterministically.
+
+    One injector instance is shared by every channel of one fit; each
+    fault kind draws from its own child stream of ``seed``, advanced once
+    per frame, so the injected pattern is a pure function of
+    ``(plan, seed, frame order)``.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: SeedLike = 0) -> None:
+        self.plan = plan
+        drop, delay, dup, corrupt, position = spawn_streams(seed, 5)
+        self._drop = drop
+        self._delay = delay
+        self._duplicate = dup
+        self._corrupt = corrupt
+        self._position = position
+        #: Count of each injected fault, for assertions and logs.
+        self.injected: dict[str, int] = {
+            "drop": 0,
+            "delay": 0,
+            "duplicate": 0,
+            "corrupt": 0,
+            "kill": 0,
+            "crash": 0,
+        }
+
+    # -- frame-level faults (called by the channels) -------------------
+
+    def on_frame(self, data: bytes) -> list[bytes]:
+        """The frames to actually deliver in place of ``data``.
+
+        May be empty (dropped), one frame (clean / corrupted / delayed),
+        or two (duplicated).  Streams advance exactly once per call per
+        fault kind, so delivery is deterministic in frame order.
+        """
+        plan = self.plan
+        if plan.delay and self._delay.random() < plan.delay:
+            self.injected["delay"] += 1
+            time.sleep(plan.delay_s)
+        if plan.drop and self._drop.random() < plan.drop:
+            self.injected["drop"] += 1
+            # Burn the remaining streams so downstream draws stay aligned
+            # with the no-drop schedule of the same seed.
+            self._duplicate.random()
+            self._corrupt.random()
+            return []
+        out = [data]
+        if plan.corrupt and self._corrupt.random() < plan.corrupt:
+            self.injected["corrupt"] += 1
+            out = [self._flip_byte(data)]
+        if plan.duplicate and self._duplicate.random() < plan.duplicate:
+            self.injected["duplicate"] += 1
+            out = out + [out[0]]
+        return out
+
+    def _flip_byte(self, data: bytes) -> bytes:
+        """Flip one payload byte (never the length prefix, so the receiver
+        reads a complete frame and the checksum — not a hang — reports it)."""
+        if len(data) <= 8:
+            return data
+        index = 8 + int(self._position.integers(0, len(data) - 8))
+        mutated = bytearray(data)
+        mutated[index] ^= 0xFF
+        return bytes(mutated)
+
+    # -- process-level faults ------------------------------------------
+
+    def should_kill_collector(self, shard_id: int, round_index: int) -> bool:
+        """Whether ``shard_id``'s channel dies at ``round_index``."""
+        kill_round = self.plan.kill_collector_at_round.get(shard_id)
+        if kill_round is not None and round_index >= kill_round:
+            self.injected["kill"] += 1
+            return True
+        return False
+
+    def coordinator_tick(self, round_index: int) -> None:
+        """Raise the simulated coordinator crash when its round arrives."""
+        crash_at = self.plan.crash_coordinator_at_round
+        if crash_at is not None and round_index >= crash_at:
+            self.injected["crash"] += 1
+            raise InjectedCoordinatorCrash(
+                f"injected coordinator crash at round {round_index}"
+            )

@@ -81,6 +81,25 @@ class PrivacyAccountant:
             raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
         return self.spend(fraction * self.total_epsilon, label)
 
+    def restore(self, entries: list[tuple[str, float]]) -> None:
+        """Adopt a previously committed ledger (resume path).
+
+        A resumed fit must account for the ε its crashed predecessor
+        already spent *without spending it again* — restoring replays the
+        persisted entries into a fresh accountant, validating each against
+        the budget, but is refused on an accountant that has any spends of
+        its own (mixing live and restored history would hide a
+        double-spend instead of surfacing it).
+        """
+        if self._ledger:
+            raise RuntimeError(
+                f"cannot restore into an accountant with {len(self._ledger)} "
+                "existing spend(s); restore requires a fresh accountant"
+            )
+        with self.transaction():
+            for label, epsilon in entries:
+                self.spend(float(epsilon), str(label))
+
     @contextmanager
     def transaction(self) -> Iterator["PrivacyAccountant"]:
         """Roll back spends made inside the block if it raises.

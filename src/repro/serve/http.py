@@ -26,6 +26,8 @@ invalid query fails as a 400 whose body names the offending index::
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -38,12 +40,19 @@ __all__ = ["SynopsisHTTPServer", "SynopsisRequestHandler", "serve"]
 #: this bound keeps one bad client from exhausting server memory).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: Socket-level timeout per request, seconds.  A client that connects and
+#: then stalls (half-open socket, interrupted upload) would otherwise pin
+#: its handler thread forever; on expiry the stdlib handler aborts just
+#: that connection.
+REQUEST_TIMEOUT_S = 30.0
+
 
 class SynopsisRequestHandler(BaseHTTPRequestHandler):
     """Routes the four endpoints onto the server's service/store."""
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+    timeout = REQUEST_TIMEOUT_S
 
     # -- helpers -------------------------------------------------------
 
@@ -152,9 +161,16 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
 
 
 class SynopsisHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server wrapping one store + one service."""
+    """A threading HTTP server wrapping one store + one service.
 
-    daemon_threads = True
+    Handler threads are *non*-daemon and ``server_close`` joins them
+    (``block_on_close``), so a shutdown triggered mid-request lets the
+    in-flight responses finish instead of killing their threads; the
+    per-request socket timeout bounds how long that drain can take.
+    """
+
+    daemon_threads = False
+    block_on_close = True
 
     def __init__(
         self,
@@ -177,11 +193,33 @@ def serve(
     cache_size: int = 8,
     quiet: bool = False,
 ) -> None:
-    """Serve ``store`` over HTTP until interrupted (blocking)."""
+    """Serve ``store`` over HTTP until interrupted or SIGTERM'd (blocking).
+
+    SIGTERM and SIGINT both trigger a *graceful* stop: the accept loop
+    exits, in-flight requests run to completion, and only then does the
+    listening socket close — so an orchestrator's ``kill`` (or Ctrl-C)
+    never truncates a response mid-body.
+    """
     server = SynopsisHTTPServer((host, port), store, cache_size=cache_size, quiet=quiet)
+
+    def _graceful_stop(signum: int, frame: object) -> None:
+        # shutdown() blocks until serve_forever has returned; calling it
+        # on the signal-handling (main) thread would deadlock, so hop off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _graceful_stop)
+    except ValueError:
+        # Not the main thread (e.g. a test harness): signals stay as they
+        # are and the caller stops the server via shutdown() directly.
+        previous = {}
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
         server.server_close()

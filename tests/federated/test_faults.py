@@ -1,0 +1,93 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.federated.errors import FrameCorruptError, InjectedCoordinatorCrash
+from repro.federated.faults import FaultInjector, FaultPlan
+from repro.federated.transport import encode_frame, read_frame
+
+
+def _decode(data: bytes) -> dict:
+    chunks = [data[:8], data[8:]]
+
+    def read_exactly(n: int) -> bytes:
+        return chunks.pop(0)
+
+    return read_frame(read_exactly)
+
+
+class TestFaultPlan:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(delay_s=-1.0)
+
+    def test_default_plan_is_a_no_op(self):
+        injector = FaultInjector(FaultPlan(), seed=0)
+        frame = encode_frame({"kind": "heartbeat"})
+        assert injector.on_frame(frame) == [frame]
+        assert not any(injector.injected.values())
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(drop=0.3, delay=0.2, duplicate=0.3, corrupt=0.2,
+                         delay_s=0.0)
+        frames = [encode_frame({"kind": "heartbeat"}) for _ in range(50)]
+        a = FaultInjector(plan, seed=42)
+        b = FaultInjector(plan, seed=42)
+        out_a = [a.on_frame(f) for f in frames]
+        out_b = [b.on_frame(f) for f in frames]
+        assert out_a == out_b
+        assert a.injected == b.injected
+
+    def test_different_seed_different_schedule(self):
+        plan = FaultPlan(drop=0.5, delay_s=0.0)
+        frames = [encode_frame({"kind": "heartbeat"}) for _ in range(60)]
+        a = FaultInjector(plan, seed=1)
+        b = FaultInjector(plan, seed=2)
+        assert [a.on_frame(f) for f in frames] != [b.on_frame(f) for f in frames]
+
+
+class TestFaultKinds:
+    def test_drop_returns_nothing(self):
+        injector = FaultInjector(FaultPlan(drop=1.0), seed=0)
+        assert injector.on_frame(encode_frame({"kind": "heartbeat"})) == []
+        assert injector.injected["drop"] > 0
+
+    def test_duplicate_returns_two_identical_frames(self):
+        injector = FaultInjector(FaultPlan(duplicate=1.0), seed=0)
+        frame = encode_frame({"kind": "heartbeat"})
+        out = injector.on_frame(frame)
+        assert out == [frame, frame]
+
+    def test_corrupt_keeps_framing_but_fails_checksum(self):
+        injector = FaultInjector(FaultPlan(corrupt=1.0), seed=0)
+        frame = encode_frame({"kind": "heartbeat", "round": 5})
+        (corrupted,) = injector.on_frame(frame)
+        assert len(corrupted) == len(frame)
+        assert corrupted[:8] == frame[:8]  # header untouched: stream parses
+        with pytest.raises(FrameCorruptError, match="checksum"):
+            _decode(corrupted)
+
+    def test_kill_fires_at_and_after_the_chosen_round(self):
+        injector = FaultInjector(
+            FaultPlan(kill_collector_at_round={1: 3}), seed=0
+        )
+        assert not injector.should_kill_collector(1, 2)
+        assert injector.should_kill_collector(1, 3)
+        assert injector.should_kill_collector(1, 7)
+        assert not injector.should_kill_collector(0, 9)
+
+    def test_coordinator_crash_fires_once_reached(self):
+        injector = FaultInjector(
+            FaultPlan(crash_coordinator_at_round=2), seed=0
+        )
+        injector.coordinator_tick(0)
+        injector.coordinator_tick(1)
+        with pytest.raises(InjectedCoordinatorCrash):
+            injector.coordinator_tick(2)
+        assert injector.injected["crash"] == 1

@@ -17,6 +17,7 @@ class TestParser:
             "query",
             "store",
             "federated-fit",
+            "collector-serve",
             "serve",
             "figure5",
             "figure6",
@@ -140,6 +141,7 @@ class TestCommands:
             "workload_generation",
             "workload_answering",
             "federated_fit",
+            "federated_fit_tcp",
             "service_cached_queries",
             "gram_counting",
             "substring_counting",
