@@ -11,7 +11,9 @@ range-count query (default 1000 boxes) at the first stored release plus
 one typed mixed workload (range / point / marginal documents), and exits
 non-zero unless every answer returned over HTTP is bit-identical to
 calling ``release.query_many`` / ``release.answer`` on a local reload of
-the artifact.
+the artifact.  A second phase restarts the server pre-forked with
+``--workers 2`` and repeats the checks over the packed binary wire form
+(v2 mmap'd artifacts on the server side), including ``GET /statz``.
 """
 
 from __future__ import annotations
@@ -150,6 +152,100 @@ def main(argv: list[str]) -> int:
         print(
             f"OK: typed workload ({len(workload)} queries, {flat.shape[0]} "
             f"answers) bit-identical to in-process answer for {release_id}"
+        )
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+    # ------------------------------------------------------------------
+    # Phase 2: pre-forked workers + the packed binary wire form.  The
+    # store migrate ensures v2 binary artifacts exist, so the workers
+    # serve from mmap'd arrays; answers must still match bit-for-bit.
+    # ------------------------------------------------------------------
+    from repro.queries import (
+        BINARY_WIRE_CONTENT_TYPE,
+        RangeCount,
+        Workload,
+        decode_binary_answers,
+        encode_binary_workload,
+    )
+
+    migrated = store.migrate()
+    if migrated:
+        print(f"migrated {len(migrated)} release(s) to binary-v2 artifacts")
+    entry = store.manifest_entry(release_id)
+    if entry.get("artifact_format") != "binary-v2":
+        print(f"FAIL: {release_id} has no binary-v2 artifact after migrate")
+        return 1
+
+    workload = Workload.of([RangeCount.of(b) for b in boxes])
+    payload = encode_binary_workload(workload)
+    port = _free_port()
+    server = subprocess.Popen(
+        command
+        + [
+            "serve",
+            "--store",
+            store_dir,
+            "--port",
+            str(port),
+            "--workers",
+            "2",
+            "--quiet",
+        ]
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=1
+                ) as resp:
+                    json.loads(resp.read())
+                break
+            except (urllib.error.URLError, OSError):
+                if time.monotonic() > deadline:
+                    print("2-worker server did not become healthy within 30s")
+                    return 1
+                time.sleep(0.2)
+
+        worker_stats: dict[int, dict] = {}
+        for _ in range(8):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/releases/{release_id}/query",
+                data=payload,
+                headers={"Content-Type": BINARY_WIRE_CONTENT_TYPE},
+            )
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                if resp.headers.get("Content-Type") != "application/x-repro-answers":
+                    print(
+                        "FAIL: binary request did not answer with the "
+                        f"binary content type ({resp.headers.get('Content-Type')!r})"
+                    )
+                    return 1
+                values, _offsets = decode_binary_answers(resp.read())
+            if not np.array_equal(values, expected):
+                worst = float(np.abs(values - expected).max())
+                print(
+                    f"FAIL: binary-wire answers deviate from in-process "
+                    f"query_many (max |delta| = {worst})"
+                )
+                return 1
+            # Counters are per worker process; sample whichever worker the
+            # kernel hands this request to and aggregate at the end.
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/statz", timeout=5
+            ) as resp:
+                stats = json.loads(resp.read())
+            worker_stats[stats["pid"]] = stats
+        total_queries = sum(s["queries"] for s in worker_stats.values())
+        if total_queries < len(workload):
+            print(f"FAIL: /statz reports too few queries: {worker_stats}")
+            return 1
+        print(
+            f"OK: {n_queries} binary-wire answers bit-identical across "
+            f"{len(worker_stats)} worker process(es) "
+            f"(pids {sorted(worker_stats)}, {total_queries} queries counted)"
         )
         return 0
     finally:

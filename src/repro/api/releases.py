@@ -10,7 +10,7 @@ grid-shaped baselines.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
@@ -24,6 +24,10 @@ from ..sequence.serialize import pst_from_dict, pst_to_dict
 from ..spatial.histogram_tree import HistogramTree
 from ..spatial.serialize import tree_from_dict, tree_to_dict
 from .base import Release
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sequence.flat import FlatPST
+    from ..spatial.flat import FlatHistogram
 
 __all__ = [
     "AdaptiveGridRelease",
@@ -67,46 +71,89 @@ class SpatialRelease(Release):
 
 
 class SpatialTreeRelease(SpatialRelease):
-    """A released hierarchical synopsis (PrivTree, SimpleTree, k-d tree)."""
+    """A released hierarchical synopsis (PrivTree, SimpleTree, k-d tree).
+
+    Backed by either the pointer-based :class:`HistogramTree` or a
+    pre-compiled :class:`~repro.spatial.flat.FlatHistogram` (the v2 binary
+    artifacts hand over mmap-backed flat arrays).  Queries always run on
+    the flat engine; the pointer tree is materialized lazily on first
+    :attr:`tree` access, so an mmap-loaded release answers workloads
+    without ever rebuilding node objects.
+    """
 
     kind = "spatial-tree"
 
     def __init__(
-        self, tree: HistogramTree, *, method: str, epsilon_spent: float
+        self,
+        tree: HistogramTree | None = None,
+        *,
+        method: str,
+        epsilon_spent: float,
+        flat: "FlatHistogram | None" = None,
     ) -> None:
         super().__init__(method=method, epsilon_spent=epsilon_spent)
-        self.tree = tree
+        if tree is None and flat is None:
+            raise ValueError("SpatialTreeRelease needs a tree or a flat synopsis")
+        self._tree = tree
+        self._flat = flat
+
+    @property
+    def tree(self) -> HistogramTree:
+        """The pointer-based tree (materialized from the flat form on demand)."""
+        if self._tree is None:
+            self._tree = self._flat.to_tree()
+            self._tree._flat = self._flat  # share the compiled engine
+        return self._tree
+
+    def flat(self) -> "FlatHistogram":
+        """The compiled flat synopsis engine (cached)."""
+        if self._flat is None:
+            self._flat = self._tree.flat()
+        return self._flat
 
     @property
     def size(self) -> int:
-        return self.tree.size
+        if self._tree is not None:
+            return self._tree.size
+        return self._flat.size
 
     @property
     def leaf_count(self) -> int:
         """Number of leaves of the released tree."""
-        return self.tree.leaf_count
+        if self._tree is not None:
+            return self._tree.leaf_count
+        return self._flat.leaf_count
 
     @property
     def height(self) -> int:
         """Height of the released tree."""
-        return self.tree.height
+        if self._tree is not None:
+            return self._tree.height
+        return self._flat.height
 
     @property
     def query_domain(self) -> Box:
-        return self.tree.root.box
+        if self._tree is not None:
+            return self._tree.root.box
+        flat = self._flat
+        return Box.from_arrays(flat.lows[0], flat.highs[0])
 
     def range_count(self, box: Box) -> float:
-        # Answered by the compiled flat synopsis (cached on the tree); the
-        # pointer-based traversal remains available as tree.range_count.
-        return self.tree.flat().range_count(box)
+        # Answered by the compiled flat synopsis; the pointer-based
+        # traversal remains available as tree.range_count.
+        return self.flat().range_count(box)
 
     def range_count_many(self, boxes: Sequence[Box]) -> np.ndarray:
         """Vectorized workload evaluation via the flat synopsis."""
-        return self.tree.range_count_many(boxes)
+        return self.flat().range_count_many(boxes)
+
+    def range_count_arrays(self, q_lows: np.ndarray, q_highs: np.ndarray) -> np.ndarray:
+        """Columnar workload evaluation (packed bound matrices, no Boxes)."""
+        return self.flat().range_count_arrays(q_lows, q_highs)
 
     def warm(self) -> None:
         """Compile (and cache) the flat synopsis engine."""
-        self.tree.flat()
+        self.flat()
 
     def to_grid(self, shape: tuple[int, ...]) -> np.ndarray:
         """Rasterize the synopsis (see :meth:`HistogramTree.to_grid`)."""
@@ -245,36 +292,73 @@ class SequenceRelease(Release):
     kind = "sequence-pst"
 
     def __init__(
-        self, model: PredictionSuffixTree, *, method: str, epsilon_spent: float
+        self,
+        model: PredictionSuffixTree | None = None,
+        *,
+        method: str,
+        epsilon_spent: float,
+        flat: "FlatPST | None" = None,
     ) -> None:
         super().__init__(method=method, epsilon_spent=epsilon_spent)
-        self.model = model
+        if model is None and flat is None:
+            raise ValueError("SequenceRelease needs a model or a flat engine")
+        self._model = model
+        self._flat = flat
+
+    @property
+    def model(self) -> PredictionSuffixTree:
+        """The pointer-based PST (materialized from the flat form on demand)."""
+        if self._model is None:
+            self._model = self._flat.to_pst()
+            self._model._flat = self._flat  # share the compiled engine
+        return self._model
+
+    def flat(self) -> "FlatPST":
+        """The compiled flat PST engine (cached)."""
+        if self._flat is None:
+            self._flat = self._model.flat()
+        return self._flat
 
     @property
     def size(self) -> int:
-        return self.model.size
+        if self._model is not None:
+            return self._model.size
+        return self._flat.size
 
     @property
     def height(self) -> int:
         """Longest released context length."""
-        return self.model.height
+        if self._model is not None:
+            return self._model.height
+        return self._flat.height
 
     @property
     def query_domain(self) -> Alphabet:
-        return self.model.alphabet
+        if self._model is not None:
+            return self._model.alphabet
+        return self._flat.alphabet
+
+    def has_start_context(self) -> bool:
+        """Whether the released tree carries sequence-start ($) statistics.
+
+        Checked on the flat child table so an mmap-loaded release never
+        materializes the pointer model just to answer a capability probe.
+        """
+        flat = self.flat()
+        return bool(flat.child_table[0, flat.alphabet.start_code] >= 0)
 
     def query(self, codes: Sequence[int]) -> float:
         """Estimated frequency of the coded string (flat engine; numerically
         identical to ``model.string_frequency``)."""
-        return self.model.flat().string_frequency(codes)
+        return self.flat().string_frequency(codes)
 
     def query_many(self, queries: Sequence[Sequence[int]]) -> np.ndarray:
         """Estimated frequencies for a whole batch of coded strings."""
-        return self.model.flat().frequency_many(queries)
+        return self.flat().frequency_many(queries)
 
     def warm(self) -> None:
         """Compile (and cache) the flat PST engine."""
-        self.model.flat()
+        self.flat()
 
     def top_k_strings(self, k: int, max_length: int = 12):
         """The model's ``k`` most frequent strings (mining task, §6.2).
@@ -282,7 +366,7 @@ class SequenceRelease(Release):
         Batched frequency scoring; explores and returns exactly what the
         recursive ``model.top_k_strings`` would.
         """
-        return self.model.flat().top_k_strings(k, max_length=max_length)
+        return self.flat().top_k_strings(k, max_length=max_length)
 
     def sample_sequence(self, rng=None, max_length: int | None = None):
         """Draw one synthetic sequence from the model."""
@@ -295,7 +379,7 @@ class SequenceRelease(Release):
         per-sequence loop, but a seed yields a different (equally valid)
         sample because the RNG stream interleaves across sequences.
         """
-        return self.model.flat().sample_dataset(n, rng=rng, max_length=max_length)
+        return self.flat().sample_dataset(n, rng=rng, max_length=max_length)
 
     def _payload(self) -> dict[str, Any]:
         return pst_to_dict(self.model)

@@ -118,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_ls = store_sub.add_parser("ls", help="list the stored releases")
     store_ls.add_argument("--store", required=True, help="store directory")
+    store_migrate = store_sub.add_parser(
+        "migrate", help="write v2 binary artifacts for pre-v2 store entries"
+    )
+    store_migrate.add_argument("--store", required=True, help="store directory")
     store_get = store_sub.add_parser("get", help="reload one stored release")
     store_get.add_argument("--store", required=True, help="store directory")
     store_get.add_argument("release_id", help="release id (see `repro store ls`)")
@@ -229,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pre-fork this many serving processes sharing one listening "
+        "socket (default 1: a single threaded server)",
     )
 
     fig5 = sub.add_parser("figure5", help="range-count relative error")
@@ -457,20 +468,40 @@ def _run_store(args: argparse.Namespace) -> str:
             f"size={entry['size']:,} epsilon_spent={entry['epsilon_spent']:g}\n"
             f"  {store.root / entry['path']}"
         )
-    # ls / get are read-only: never materialize a store at a mistyped path.
+    # ls / get / migrate operate on an existing store only: never
+    # materialize a store at a mistyped path.
     try:
         store = ReleaseStore(args.store, create=False)
     except FileNotFoundError as exc:
         raise SystemExit(str(exc)) from None
+    if args.store_command == "migrate":
+        upgraded = store.migrate()
+        if not upgraded:
+            return f"store {store.root}: all entries already have binary artifacts"
+        return "\n".join(
+            [f"store {store.root}: wrote {len(upgraded)} binary artifact(s)"]
+            + [f"  {release_id}" for release_id in upgraded]
+        )
     if args.store_command == "ls":
         entries = store.entries()
         if not entries:
             return f"store {store.root} is empty"
-        lines = [f"{'id':34s} {'method':11s} {'kind':22s} {'size':>9s} {'epsilon':>8s}  dataset"]
+        lines = [
+            f"{'id':34s} {'method':11s} {'kind':22s} {'size':>9s} "
+            f"{'epsilon':>8s} {'format':>9s} {'bytes':>11s}  dataset"
+        ]
         for e in entries:
+            # Pre-v2 manifests have no artifact fields; report what the
+            # store would actually serve (JSON unless the .bin exists).
+            fmt = e.get("artifact_format", "json-v1")
+            n_bytes = e.get("artifact_bytes")
+            if n_bytes is None:
+                json_path = store.root / e["path"]
+                n_bytes = json_path.stat().st_size if json_path.exists() else 0
             lines.append(
                 f"{e['id']:34s} {e['method']:11s} {e['kind']:22s} "
-                f"{e['size']:>9,d} {e['epsilon_spent']:>8g}  {e['dataset']}"
+                f"{e['size']:>9,d} {e['epsilon_spent']:>8g} {fmt:>9s} "
+                f"{n_bytes:>11,d}  {e['dataset']}"
             )
         return "\n".join(lines)
     # get
@@ -780,11 +811,21 @@ def _run_serve(args: argparse.Namespace) -> int:
         store = ReleaseStore(args.store, create=False)
     except FileNotFoundError as exc:
         raise SystemExit(str(exc)) from None
+    workers = getattr(args, "workers", 1)
     print(
         f"serving {len(store)} release(s) from {store.root} "
-        f"on http://{args.host}:{args.port} (cache={args.cache}) — Ctrl-C stops"
+        f"on http://{args.host}:{args.port} "
+        f"(cache={args.cache}, workers={workers}) — Ctrl-C stops",
+        flush=True,
     )
-    serve(store, args.host, args.port, cache_size=args.cache, quiet=args.quiet)
+    serve(
+        store,
+        args.host,
+        args.port,
+        cache_size=args.cache,
+        quiet=args.quiet,
+        workers=workers,
+    )
     return 0
 
 

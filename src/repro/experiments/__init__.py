@@ -21,19 +21,25 @@ from .spatial_error import (
     run_ug_gridsize_ablation,
     spatial_method_registry,
 )
+from .loadgen import LoadError, LoadResult, run_load
 from .perf import (
     bench_regression_failures,
     compare_bench_results,
+    run_artifact_cold_load_bench,
     run_perf_bench,
     run_sequence_perf_bench,
     run_service_perf_bench,
+    run_service_throughput_bench,
     write_bench_json,
 )
 from .timing import run_privtree_timing
 
 __all__ = [
+    "LoadError",
+    "LoadResult",
     "PAPER_EPSILONS",
     "SweepResult",
+    "run_load",
     "format_float",
     "format_percent",
     "format_seconds",
@@ -45,10 +51,12 @@ __all__ = [
     "run_length_distribution_experiment",
     "run_ngram_height_ablation",
     "run_frequency_error_experiment",
+    "run_artifact_cold_load_bench",
     "run_perf_bench",
     "run_privtree_timing",
     "run_sequence_perf_bench",
     "run_service_perf_bench",
+    "run_service_throughput_bench",
     "write_bench_json",
     "run_range_query_experiment",
     "run_topk_experiment",

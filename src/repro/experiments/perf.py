@@ -57,10 +57,13 @@ __all__ = [
     "compare_bench_results",
     "reference_privtree_histogram",
     "reference_workload_answers",
+    "run_artifact_cold_load_bench",
     "run_perf_bench",
     "run_sequence_perf_bench",
     "run_service_perf_bench",
+    "run_service_throughput_bench",
     "scalar_query_loop",
+    "synthetic_flat_histogram",
     "write_bench_json",
 ]
 
@@ -429,6 +432,334 @@ def run_service_perf_bench(
     }
 
 
+def synthetic_flat_histogram(depth: int = 8):
+    """A complete quadtree over the unit square as a ``FlatHistogram``.
+
+    Built directly in array form (no Python pointer tree), so benches can
+    cheaply synthesize release artifacts at serving scale: ``depth=8``
+    gives ``(4**9 - 1) / 3`` = 87,381 nodes, about the node count of a
+    production PrivTree fit over a dense dataset.  Level-order layout —
+    children always follow their parents, which is all the flat engines
+    require of the topology.
+    """
+    from ..spatial.flat import FlatHistogram
+
+    level_sizes = [4**level for level in range(depth + 1)]
+    level_starts = np.concatenate(([0], np.cumsum(level_sizes)))
+    m = int(level_starts[-1])
+    lows = np.empty((m, 2))
+    highs = np.empty((m, 2))
+    parents = np.full(m, -1, dtype=np.intp)
+    n_children = np.zeros(m, dtype=np.int64)
+    for level in range(depth + 1):
+        start, size = int(level_starts[level]), level_sizes[level]
+        side = 2**level
+        j = np.arange(size)
+        row, col = j // side, j % side
+        lows[start : start + size, 0] = col / side
+        lows[start : start + size, 1] = row / side
+        highs[start : start + size, 0] = (col + 1) / side
+        highs[start : start + size, 1] = (row + 1) / side
+        if level > 0:
+            parent_side = side // 2
+            parents[start : start + size] = (
+                level_starts[level - 1] + (row // 2) * parent_side + (col // 2)
+            )
+        if level < depth:
+            n_children[start : start + size] = 4
+    child_offsets = np.concatenate(([0], np.cumsum(n_children)))
+    child_index = np.empty(m - 1, dtype=np.intp)
+    for level in range(depth):
+        start, size = int(level_starts[level]), level_sizes[level]
+        side = 2**level
+        j = np.arange(size)
+        row, col = j // side, j % side
+        # The four quadrants of cell (row, col) on the doubled grid.
+        top_left = level_starts[level + 1] + (2 * row) * (2 * side) + 2 * col
+        quads = np.stack(
+            [top_left, top_left + 1, top_left + 2 * side, top_left + 2 * side + 1],
+            axis=1,
+        )
+        child_index[child_offsets[start] : child_offsets[start + size]] = (
+            quads.ravel()
+        )
+    counts = (np.arange(m, dtype=np.float64) * 0.73 + 1.0) % 997.0
+    return FlatHistogram(
+        lows=lows,
+        highs=highs,
+        counts=counts,
+        parents=parents,
+        child_offsets=child_offsets,
+        child_index=child_index,
+    )
+
+
+def run_artifact_cold_load_bench(depth: int = 8, repeats: int = 3) -> dict:
+    """Time a cold release load: v2 binary mmap vs. the v1 JSON envelope.
+
+    Writes one synthetic ~100k-node release in both on-disk forms, then
+    times file -> warmed query engine for each.  The v2 path is a header
+    parse + checksum + ``np.memmap`` per array segment; the v1 path is a
+    full JSON parse plus pointer-tree reconstruction and flat-engine
+    compilation.  Both loaded engines must answer a probe workload
+    bit-identically — the format change can't move a single float.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..api.base import release_from_json
+    from ..api.releases import SpatialTreeRelease
+    from ..serve.artifact import read_artifact, write_artifact
+
+    # Canonicalize the synthetic level-order arrays through the pointer
+    # tree: the v1 JSON path recompiles its engine in from_tree's
+    # pre-order, and bit-identity needs both loads summing in one layout.
+    tree = synthetic_flat_histogram(depth).to_tree()
+    release = SpatialTreeRelease(tree, method="privtree", epsilon_spent=1.0)
+    flat = release.flat()
+    probe = [
+        (np.array([0.1, 0.1]), np.array([0.4, 0.5])),
+        (np.array([0.0, 0.0]), np.array([1.0, 1.0])),
+        (np.array([0.62, 0.03]), np.array([0.91, 0.77])),
+    ]
+    probe_lows = np.array([low for low, _ in probe])
+    probe_highs = np.array([high for _, high in probe])
+    expected = flat.range_count_arrays(probe_lows, probe_highs)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-artifact-") as root:
+        bin_path = Path(root) / "release.bin"
+        json_path = Path(root) / "release.json"
+        n_bytes = write_artifact(release, bin_path)
+        json_path.write_text(json.dumps(release.to_json()))
+        json_bytes = json_path.stat().st_size
+
+        def _load_v2():
+            loaded = read_artifact(bin_path)
+            loaded.warm()
+            return loaded
+
+        def _load_v1():
+            loaded = release_from_json(json.loads(json_path.read_text()))
+            loaded.warm()
+            return loaded
+
+        v2_s, v2_release = _best_of(repeats, _load_v2)
+        v1_s, v1_release = _best_of(repeats, _load_v1)
+        v2_answers = v2_release.range_count_arrays(probe_lows, probe_highs)
+        v1_answers = v1_release.range_count_arrays(probe_lows, probe_highs)
+        if not (
+            np.array_equal(v2_answers, expected)
+            and np.array_equal(v1_answers, expected)
+        ):
+            raise AssertionError(
+                "artifact-loaded engines deviate from the in-memory flat engine"
+            )
+    return {
+        "workload": f"{flat.size:,}-node release, file -> warmed engine",
+        "optimized_s": v2_s,
+        "reference_s": v1_s,
+        "speedup": v1_s / v2_s,
+        "cold_load_ms": v2_s * 1e3,
+        "artifact_bytes": n_bytes,
+        "json_bytes": json_bytes,
+        "bit_identical_to_json": True,
+    }
+
+
+def _serve_subprocess(store_root: str, port: int, workers: int):
+    """Start ``repro serve`` in a subprocess; yields once /healthz answers."""
+    import contextlib
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import urllib.error
+    import urllib.request
+
+    import repro
+
+    # The child must import repro even when only the parent's sys.path
+    # knows where it lives (pytest's pythonpath=src, editable checkouts).
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH")) if p
+    )
+
+    @contextlib.contextmanager
+    def _running():
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+                "serve",
+                "--store",
+                store_root,
+                "--port",
+                str(port),
+                "--workers",
+                str(workers),
+                "--quiet",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        try:
+            deadline = time.perf_counter() + 30.0
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz", timeout=1.0
+                    ):
+                        break
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    if proc.poll() is not None:
+                        raise RuntimeError(
+                            f"serve subprocess exited with {proc.returncode}"
+                        ) from None
+                    if time.perf_counter() > deadline:
+                        raise RuntimeError("serve subprocess never became healthy")
+                    time.sleep(0.05)
+            yield
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    return _running()
+
+
+def run_service_throughput_bench(
+    synopsis: HistogramTree,
+    domain,
+    epsilon: float,
+    n_batch_queries: int = 10_000,
+    clients: int = 2,
+    worker_counts: tuple[int, ...] = (1, 2),
+    rng: int = 0,
+) -> dict:
+    """End-to-end served q/s: binary wire + mmap artifacts vs. JSON.
+
+    Publishes the synopsis to a store, runs ``repro serve`` as a real
+    subprocess (per worker count), and drives it with
+    :func:`~repro.experiments.loadgen.run_load`: ``clients`` keep-alive
+    connections each POSTing a ``n_batch_queries``-range-count batch
+    back-to-back.  The optimized path is the packed binary wire form; the
+    reference is the identical workload as a v1 JSON batch against the
+    same server.  One binary response is decoded and asserted
+    bit-identical to the in-process ``release.answer`` before any timing
+    counts.
+    """
+    import tempfile
+    import urllib.request
+
+    from ..api.releases import SpatialTreeRelease
+    from ..queries import (
+        BINARY_WIRE_CONTENT_TYPE,
+        RangeCount,
+        Workload,
+        decode_binary_answers,
+        encode_binary_workload,
+    )
+    from ..serve import ReleaseStore
+    from .loadgen import run_load
+
+    boxes = generate_workload(domain, "medium", n_batch_queries, rng=rng + 9)
+    workload = Workload.of(
+        [RangeCount(low=tuple(b.low), high=tuple(b.high)) for b in boxes]
+    )
+    release = SpatialTreeRelease(synopsis, method="privtree", epsilon_spent=epsilon)
+    expected = release.answer(workload)
+    binary_payload = encode_binary_workload(workload)
+    json_payload = json.dumps(
+        {"queries": [query.to_wire() for query in workload]}
+    ).encode("utf-8")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as root:
+        store = ReleaseStore(root)
+        release_id = store.put(release, dataset="bench")
+        port = _free_port()
+        runs: dict[str, dict] = {}
+        reference_s = None
+        for workers in worker_counts:
+            with _serve_subprocess(root, port, workers):
+                url = f"http://127.0.0.1:{port}/releases/{release_id}/query"
+                request = urllib.request.Request(
+                    url,
+                    data=binary_payload,
+                    headers={"Content-Type": BINARY_WIRE_CONTENT_TYPE},
+                )
+                with urllib.request.urlopen(request, timeout=30.0) as response:
+                    values, _ = decode_binary_answers(response.read())
+                if not np.array_equal(values, expected):
+                    raise AssertionError(
+                        "served binary answers deviate from in-process answer()"
+                    )
+                result = run_load(
+                    "127.0.0.1",
+                    port,
+                    release_id,
+                    binary_payload,
+                    content_type=BINARY_WIRE_CONTENT_TYPE,
+                    queries_per_batch=len(workload),
+                    clients=clients,
+                    batches_per_client=25,
+                )
+                runs[f"binary_workers_{workers}"] = result.to_json()
+                if workers == worker_counts[0]:
+                    json_result = run_load(
+                        "127.0.0.1",
+                        port,
+                        release_id,
+                        json_payload,
+                        content_type="application/json",
+                        queries_per_batch=len(workload),
+                        clients=clients,
+                        batches_per_client=3,
+                    )
+                    runs[f"json_workers_{workers}"] = json_result.to_json()
+                    reference_s = 1.0 / json_result.batches_per_s
+    best = max(
+        (runs[k] for k in runs if k.startswith("binary_")),
+        key=lambda r: r["queries_per_s"],
+    )
+    optimized_s = 1.0 / best["batches_per_s"]
+    import os
+
+    return {
+        "workload": (
+            f"{n_batch_queries:,} range counts per batch, "
+            f"{clients} keep-alive clients, served over HTTP"
+        ),
+        "optimized_s": optimized_s,
+        "reference_s": reference_s,
+        "speedup": reference_s / optimized_s,
+        "queries_per_s": best["queries_per_s"],
+        "p50_ms": best["p50_ms"],
+        "p99_ms": best["p99_ms"],
+        "bit_identical_to_inprocess": True,
+        # Worker scaling is core-bound: on a 1-CPU container every worker
+        # shares the same core and q/s is the engine's traversal rate.
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
+
+
+def _free_port() -> int:
+    """An OS-assigned free TCP port (closed again; tiny reuse race is fine)."""
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
 def run_perf_bench(
     n_points: int = 200_000,
     n_queries: int = 1_000,
@@ -539,6 +870,10 @@ def run_perf_bench(
     service_case = run_service_perf_bench(
         synopsis, queries, epsilon=epsilon, repeats=repeats
     )
+    artifact_case = run_artifact_cold_load_bench(repeats=repeats)
+    throughput_case = run_service_throughput_bench(
+        synopsis, data.domain, epsilon=epsilon, rng=rng
+    )
 
     # The typed query surface: a mixed range/point/marginal workload
     # through one `release.answer` dispatch vs. the scalar `query` loop
@@ -625,6 +960,8 @@ def run_perf_bench(
                 "n_answers": int(typed_answers.shape[0]),
             },
             "service_cached_queries": service_case,
+            "artifact_cold_load": artifact_case,
+            "service_throughput": throughput_case,
             **sequence["cases"],
         },
     }

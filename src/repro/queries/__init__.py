@@ -28,6 +28,15 @@ Example::
 """
 
 from .answer import UnsupportedQueryTypeError, answer_workload, supported_query_types
+from .binary import (
+    BINARY_ANSWERS_CONTENT_TYPE,
+    BINARY_WIRE_CONTENT_TYPE,
+    PackedRangeCounts,
+    decode_binary_answers,
+    decode_binary_workload,
+    encode_binary_answers,
+    encode_binary_workload,
+)
 from .metrics import (
     SMOOTHING_FRACTION,
     WorkloadScore,
@@ -55,8 +64,11 @@ from .wire import (
 from .workload import Workload
 
 __all__ = [
+    "BINARY_ANSWERS_CONTENT_TYPE",
+    "BINARY_WIRE_CONTENT_TYPE",
     "Marginal1D",
     "NextSymbolDistribution",
+    "PackedRangeCounts",
     "PointCount",
     "PrefixCount",
     "Query",
@@ -69,7 +81,11 @@ __all__ = [
     "Workload",
     "WorkloadScore",
     "answer_workload",
+    "decode_binary_answers",
+    "decode_binary_workload",
     "decode_query_batch",
+    "encode_binary_answers",
+    "encode_binary_workload",
     "query_from_wire",
     "query_type_registry",
     "relative_errors",

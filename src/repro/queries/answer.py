@@ -64,8 +64,9 @@ def supported_query_types(release: "Release") -> tuple[type[Query], ...]:
     if isinstance(release, SpatialRelease):
         return (RangeCount, PointCount, Marginal1D)
     if isinstance(release, SequenceRelease):
-        model = release.model
-        if model.root.children.get(model.alphabet.start_code) is None:
+        # Probed on the flat child table (has_start_context) so mmap-loaded
+        # releases never materialize the pointer model for a capability check.
+        if not release.has_start_context():
             return (StringFrequency, NextSymbolDistribution)
         return (StringFrequency, PrefixCount, NextSymbolDistribution)
     if isinstance(release, NGramRelease):
@@ -109,7 +110,7 @@ def _answer_spatial(release, workload: Workload, domain) -> np.ndarray:
 
 def _answer_pst(release, workload: Workload, domain) -> np.ndarray:
     """Group by type; one batched FlatPST pass per group present."""
-    flat = release.model.flat()
+    flat = release.flat()
     offsets = np.concatenate(([0], np.cumsum(workload.result_sizes(domain))))
     out = np.zeros(int(offsets[-1]), dtype=np.float64)
 

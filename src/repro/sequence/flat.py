@@ -186,6 +186,28 @@ class FlatPST:
             child_table=child_table,
         )
 
+    def to_pst(self) -> PredictionSuffixTree:
+        """Reconstruct the pointer-based :class:`PredictionSuffixTree`.
+
+        The inverse of :meth:`from_pst` (up to child-dict insertion order):
+        used to materialize a model on demand when a release was loaded
+        from a flat binary artifact.
+        """
+        m = self.size
+        contexts: list[tuple[int, ...]] = [()] * m
+        nodes: list[PSTNode] = [None] * m  # type: ignore[list-item]
+        for i in range(m):
+            parent = int(self.parents[i])
+            if parent >= 0:
+                contexts[i] = (int(self.edge_symbols[i]),) + contexts[parent]
+            nodes[i] = PSTNode(
+                context=contexts[i], hist=np.array(self.hists[i], dtype=float)
+            )
+        for i in range(1, m):
+            parent = int(self.parents[i])
+            nodes[parent].children[int(self.edge_symbols[i])] = nodes[i]
+        return PredictionSuffixTree(alphabet=self.alphabet, root=nodes[0])
+
     def node_context(self, index: int) -> tuple[int, ...]:
         """The predictor string of node ``index`` (root: ``()``)."""
         context: list[int] = []

@@ -5,20 +5,29 @@ handler translates HTTP to :class:`~repro.serve.service.SynopsisService`
 calls.  Endpoints::
 
     GET  /healthz                  liveness + store size
+    GET  /statz                    service counters (hits, batches, queries)
     GET  /releases                 manifest entries of every stored release
     GET  /releases/{id}            one manifest entry
     POST /releases/{id}/query      {"queries": [...]} -> {"answers": [...]}
 
-A batch is a list of typed query documents (``{"format": "repro.query",
-"version": 1, "type": "range_count", ...}`` — see :mod:`repro.queries`),
-optionally mixed with the legacy raw forms (``{"low": ..., "high": ...}``
-boxes for spatial releases, symbol-code lists for sequence releases; kept
-for one deprecation cycle).  Scalar queries answer as bare floats, vector
-queries (marginals, next-symbol distributions) as lists.  Answers are the
-exact floats ``release.answer`` returns in-process (JSON round-trips
-doubles losslessly via ``repr``), so a consumer can verify a served batch
-bit-for-bit against a local reload of the artifact.  A batch with one
-invalid query fails as a 400 whose body names the offending index::
+A JSON batch is a list of typed query documents (``{"format":
+"repro.query", "version": 1, "type": "range_count", ...}`` — see
+:mod:`repro.queries`), optionally mixed with the legacy raw forms
+(``{"low": ..., "high": ...}`` boxes for spatial releases, symbol-code
+lists for sequence releases; kept for one deprecation cycle).  Scalar
+queries answer as bare floats, vector queries (marginals, next-symbol
+distributions) as lists.
+
+The query endpoint also negotiates the packed binary wire form by
+Content-Type: a ``application/x-repro-workload`` body (see
+:mod:`repro.queries.binary`) answers as ``application/x-repro-answers``
+raw float64 bytes — the high-throughput path, since neither side touches
+a float repr.  Either way the answers are the exact floats
+``release.answer`` returns in-process (JSON round-trips doubles
+losslessly via ``repr``; the binary form carries the raw doubles), so a
+consumer can verify a served batch bit-for-bit against a local reload of
+the artifact.  A batch with one invalid query fails as a 400 JSON body
+naming the offending index::
 
     {"error": "query 3 is malformed (...)", "query_index": 3}
 """
@@ -26,11 +35,14 @@ invalid query fails as a 400 whose body names the offending index::
 from __future__ import annotations
 
 import json
+import os
 import signal
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..queries.binary import BINARY_ANSWERS_CONTENT_TYPE, BINARY_WIRE_CONTENT_TYPE
 from .service import ArtifactLoadError, SynopsisService
 from .store import ReleaseStore, StoreError
 
@@ -56,13 +68,15 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers -------------------------------------------------------
 
-    def _send_json(self, status: int, body: dict[str, Any]) -> None:
-        data = json.dumps(body).encode("utf-8")
+    def _send_bytes(self, status: int, content_type: str, data: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+        self._send_bytes(status, "application/json", json.dumps(body).encode("utf-8"))
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
@@ -89,6 +103,8 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
                 200,
                 {"status": "ok", "releases": len(store), **self._service.stats()},
             )
+        elif route == ("statz",):
+            self._send_json(200, {"pid": os.getpid(), **self._service.stats()})
         elif route == ("releases",):
             self._send_json(200, {"releases": store.entries()})
         elif len(route) == 2 and route[0] == "releases":
@@ -124,6 +140,15 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send_error_json(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
             return
+        if self.headers.get_content_type() == BINARY_WIRE_CONTENT_TYPE:
+            payload = self.rfile.read(length)
+            answers = self._answer_or_error(
+                lambda: self._service.answer_batch_binary(release_id, payload),
+                release_id,
+            )
+            if answers is not None:
+                self._send_bytes(200, BINARY_ANSWERS_CONTENT_TYPE, answers)
+            return
         try:
             body = json.loads(self.rfile.read(length))
         except json.JSONDecodeError as exc:
@@ -135,15 +160,26 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
                 400, 'request body must be {"queries": [...]} with a list'
             )
             return
+        response = self._answer_or_error(
+            lambda: self._service.answer_batch(release_id, raw_queries), release_id
+        )
+        if response is not None:
+            self._send_json(200, response)
+
+    def _answer_or_error(self, answer: Any, release_id: str) -> Any:
+        """Run an answer callable, mapping failures to error responses.
+
+        Returns the callable's result, or ``None`` after having sent the
+        appropriate error (errors are always JSON bodies, even for binary
+        requests — a failed binary batch has no answer bytes to frame).
+        """
         try:
-            response = self._service.answer_batch(release_id, raw_queries)
+            return answer()
         except StoreError:
             self._send_error_json(404, f"unknown release id {release_id!r}")
-            return
         except ArtifactLoadError as exc:
             # The server's stored artifact is broken — not the client's query.
             self._send_error_json(500, str(exc))
-            return
         except ValueError as exc:
             # Decode/validation errors carry the offending batch position
             # (QueryDecodeError / QueryValidationError), so one bad query
@@ -153,11 +189,9 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
             if index is not None:
                 body["query_index"] = int(index)
             self._send_json(400, body)
-            return
         except Exception as exc:  # never drop the connection without a body
             self._send_error_json(500, f"internal error: {exc}")
-            return
-        self._send_json(200, response)
+        return None
 
 
 class SynopsisHTTPServer(ThreadingHTTPServer):
@@ -167,6 +201,10 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
     (``block_on_close``), so a shutdown triggered mid-request lets the
     in-flight responses finish instead of killing their threads; the
     per-request socket timeout bounds how long that drain can take.
+
+    Pass ``listen_socket`` to serve on an already-listening socket
+    instead of binding a new one — the multi-worker path: the parent
+    binds once, forks, and every worker accepts on the inherited fd.
     """
 
     daemon_threads = False
@@ -179,10 +217,175 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         *,
         cache_size: int = 8,
         quiet: bool = False,
+        listen_socket: socket.socket | None = None,
     ) -> None:
-        super().__init__(address, SynopsisRequestHandler)
+        if listen_socket is None:
+            super().__init__(address, SynopsisRequestHandler)
+        else:
+            super().__init__(address, SynopsisRequestHandler, bind_and_activate=False)
+            self.socket.close()  # the unbound socket the base ctor made
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            # server_bind() normally fills these (handlers report them).
+            self.server_name = self.server_address[0]
+            self.server_port = self.server_address[1]
         self.service = SynopsisService(store, cache_size=cache_size)
         self.quiet = quiet
+
+
+def _bind_listener(host: str, port: int, *, reuse_port: bool = False) -> socket.socket:
+    """Bind + listen a TCP socket the way ThreadingHTTPServer would."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _install_graceful_stop(server: SynopsisHTTPServer) -> dict[int, Any]:
+    """SIGTERM/SIGINT -> graceful shutdown; returns the displaced handlers."""
+
+    def _graceful_stop(signum: int, frame: object) -> None:
+        # shutdown() blocks until serve_forever has returned; calling it
+        # on the signal-handling (main) thread would deadlock, so hop off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous: dict[int, Any] = {}
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _graceful_stop)
+    except ValueError:
+        # Not the main thread (e.g. a test harness): signals stay as they
+        # are and the caller stops the server via shutdown() directly.
+        previous = {}
+    return previous
+
+
+def _serve_single(
+    store: ReleaseStore,
+    address: tuple[str, int],
+    *,
+    cache_size: int,
+    quiet: bool,
+    listen_socket: socket.socket | None = None,
+) -> None:
+    """One process's serve loop: graceful signals, drain, close."""
+    server = SynopsisHTTPServer(
+        address, store, cache_size=cache_size, quiet=quiet, listen_socket=listen_socket
+    )
+    previous = _install_graceful_stop(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
+
+
+def _serve_forked(
+    store: ReleaseStore,
+    host: str,
+    port: int,
+    *,
+    workers: int,
+    cache_size: int,
+    quiet: bool,
+) -> None:
+    """Pre-fork ``workers`` processes accepting on one shared listener.
+
+    The parent binds and listens, touches the store once (so a bad store
+    path or manifest fails before any fork), then forks; each worker runs
+    the ordinary serve loop on the inherited fd — the kernel load-balances
+    accepts across them, and every worker memory-maps the same binary
+    artifacts, so the resident arrays are shared pages, not copies.  If
+    the inherited socket cannot be shared, workers fall back to binding
+    their own ``SO_REUSEPORT`` socket on the same address.  The parent
+    forwards SIGTERM/SIGINT to the workers and reaps them all, so each
+    worker drains in-flight requests before the group exits.
+    """
+    store.entries()  # build/validate the store index pre-fork
+    try:
+        listener = _bind_listener(host, port, reuse_port=workers > 1)
+        reuse_port = workers > 1
+    except OSError:
+        # SO_REUSEPORT unsupported (or refused): a plain listener still
+        # serves every worker via fork inheritance.
+        listener = _bind_listener(host, port)
+        reuse_port = False
+    address = listener.getsockname()[:2]
+    children: list[int] = []
+    try:
+        for _ in range(workers):
+            pid = os.fork()
+            if pid == 0:
+                # Worker: serve on the inherited listener; if wrapping it
+                # fails and the port allows rebinding, bind our own.
+                code = 0
+                try:
+                    try:
+                        _serve_single(
+                            store,
+                            address,
+                            cache_size=cache_size,
+                            quiet=quiet,
+                            listen_socket=listener,
+                        )
+                    except OSError:
+                        if not reuse_port:
+                            raise
+                        listener.close()
+                        _serve_single(
+                            store,
+                            address,
+                            cache_size=cache_size,
+                            quiet=quiet,
+                            listen_socket=_bind_listener(*address, reuse_port=True),
+                        )
+                except BaseException:
+                    code = 1
+                finally:
+                    os._exit(code)  # never fall back into the parent's stack
+            children.append(pid)
+
+        def _forward(signum: int, frame: object) -> None:
+            for child in children:
+                try:
+                    os.kill(child, signum)
+                except ProcessLookupError:
+                    pass
+
+        previous = {
+            sig: signal.signal(sig, _forward)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            for pid in children:
+                while True:
+                    try:
+                        os.waitpid(pid, 0)
+                        break
+                    except InterruptedError:
+                        continue  # a forwarded signal interrupted the wait
+            children = []
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+    finally:
+        for child in children:  # fork failed partway: don't leak workers
+            try:
+                os.kill(child, signal.SIGTERM)
+                os.waitpid(child, 0)
+            except (ProcessLookupError, ChildProcessError):
+                pass
+        listener.close()
 
 
 def serve(
@@ -192,6 +395,7 @@ def serve(
     *,
     cache_size: int = 8,
     quiet: bool = False,
+    workers: int = 1,
 ) -> None:
     """Serve ``store`` over HTTP until interrupted or SIGTERM'd (blocking).
 
@@ -199,27 +403,18 @@ def serve(
     exits, in-flight requests run to completion, and only then does the
     listening socket close — so an orchestrator's ``kill`` (or Ctrl-C)
     never truncates a response mid-body.
+
+    ``workers > 1`` pre-forks that many serving processes sharing one
+    listening socket (POSIX only); the same graceful-stop contract holds
+    for the whole group.
     """
-    server = SynopsisHTTPServer((host, port), store, cache_size=cache_size, quiet=quiet)
-
-    def _graceful_stop(signum: int, frame: object) -> None:
-        # shutdown() blocks until serve_forever has returned; calling it
-        # on the signal-handling (main) thread would deadlock, so hop off.
-        threading.Thread(target=server.shutdown, daemon=True).start()
-
-    previous = {}
-    try:
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            previous[sig] = signal.signal(sig, _graceful_stop)
-    except ValueError:
-        # Not the main thread (e.g. a test harness): signals stay as they
-        # are and the caller stops the server via shutdown() directly.
-        previous = {}
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        for sig, handler in previous.items():
-            signal.signal(sig, handler)
-        server.server_close()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    if workers == 1:
+        _serve_single(store, (host, port), cache_size=cache_size, quiet=quiet)
+        return
+    if not hasattr(os, "fork"):
+        raise RuntimeError("--workers > 1 requires os.fork (POSIX)")
+    _serve_forked(
+        store, host, port, workers=workers, cache_size=cache_size, quiet=quiet
+    )

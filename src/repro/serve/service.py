@@ -22,6 +22,11 @@ import numpy as np
 
 from ..api.base import Release
 from ..api.releases import SpatialRelease
+from ..queries.binary import (
+    PackedRangeCounts,
+    decode_binary_workload,
+    encode_binary_answers,
+)
 from ..queries.wire import decode_query_batch
 from .store import ReleaseStore, StoreError
 
@@ -85,12 +90,25 @@ class SynopsisService:
         #: Per-id load guards: a cold load/compile must not stall cache
         #: hits on *other* releases, only duplicate loads of the same id.
         self._load_locks: dict[str, threading.Lock] = {}
+        #: Stat counters.  Only ever mutated under ``self._lock`` (handler
+        #: threads race on them otherwise — a lost `+=` undercounts); the
+        #: counter guard below enforces that invariant in debug runs.
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.batches = 0
+        self.queries = 0
+
+    def _count_batch(self, n_queries: int) -> None:
+        """Record one answered batch (thread-safe)."""
+        with self._lock:
+            self.batches += 1
+            self.queries += n_queries
 
     def _cached(self, release_id: str) -> Release | None:
-        """Cache lookup counting a hit and refreshing recency."""
+        """Cache lookup counting a hit and refreshing recency.
+
+        Caller must hold ``self._lock`` (all counter mutations do)."""
         cached = self._cache.get(release_id)
         if cached is not None:
             self._cache.move_to_end(release_id)
@@ -159,6 +177,7 @@ class SynopsisService:
         )
         flat = release.answer(workload)
         answers = workload.group_answers(flat, release.query_domain)
+        self._count_batch(len(answers))
         return {
             "id": release_id,
             "method": release.method,
@@ -166,19 +185,56 @@ class SynopsisService:
             "answers": answers,
         }
 
+    def answer_batch_binary(self, release_id: str, payload: bytes) -> bytes:
+        """Answer a packed binary batch, returning the binary answer bytes.
+
+        The binary counterpart of :meth:`answer_batch`.  An
+        all-range-count payload stays columnar end to end: the decoded
+        ``(n, d)`` bound matrices run one ``range_count_arrays`` call on
+        the release's flat engine — no query objects, no dict hops, no
+        float reprs.  Mixed batches materialize the typed workload and
+        answer through the same ``release.answer`` dispatch as JSON, so
+        binary answers are the identical float64 values either way.
+        """
+        release = self.release(release_id)
+        batch = decode_binary_workload(payload)
+        if isinstance(batch, PackedRangeCounts):
+            domain = release.query_domain
+            batch.validate(domain)
+            arrays_fn = getattr(release, "range_count_arrays", None)
+            if arrays_fn is not None:
+                values = np.asarray(
+                    arrays_fn(batch.q_lows, batch.q_highs), dtype=np.float64
+                )
+            else:
+                # Grid-shaped releases have no columnar engine; the typed
+                # path answers the identical floats (same boxes, same order).
+                values = release.answer(batch.to_workload())
+            offsets = np.arange(len(batch) + 1, dtype=np.uint32)
+        else:
+            values = release.answer(batch)
+            sizes = batch.result_sizes(release.query_domain)
+            offsets = np.concatenate(
+                ([0], np.cumsum(sizes, dtype=np.int64))
+            ).astype(np.uint32)
+        self._count_batch(int(offsets.shape[0]) - 1)
+        return encode_binary_answers(values, offsets)
+
     def cached_ids(self) -> list[str]:
         """Resident release ids, least- to most-recently used."""
         with self._lock:
             return list(self._cache)
 
     def stats(self) -> dict[str, int]:
-        """Cache counters (hits / misses / evictions / resident)."""
+        """Service counters, read atomically (the ``/statz`` payload)."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "resident": len(self._cache),
+                "batches": self.batches,
+                "queries": self.queries,
             }
 
     def __repr__(self) -> str:

@@ -5,14 +5,19 @@ that built it; the store is how a curator *publishes* one.  Layout::
 
     <root>/
         manifest.json           # header + {id: manifest entry}
-        releases/<id>.json      # one release envelope per artifact
+        releases/<id>.json      # one v1 release envelope per artifact
+        releases/<id>.bin       # the v2 binary columnar artifact
 
-The release files are exactly the ``Release.to_json`` envelopes (the wire
-format of :mod:`repro.api.base`), so a stored artifact can also be parsed
-by third parties without this package.  Every write — release file and
-manifest alike — goes through :func:`repro._io.atomic_write_text`, so a
-crash mid-publish can never leave a corrupt document for the query service
-to load.
+``put`` writes **both** forms: the v1 JSON envelope (exactly the
+``Release.to_json`` wire format of :mod:`repro.api.base`, parseable by
+third parties without this package) and the v2 binary columnar artifact
+(:mod:`repro.serve.artifact`), whose flat arrays ``get`` memory-maps
+directly into the query engines — load is an mmap + checksum, not a
+parse.  ``get`` prefers the binary form and falls back to JSON, so stores
+written before v2 keep working; :meth:`migrate` upgrades them in place.
+Every write goes through the atomic helpers of :mod:`repro._io`, so a
+crash mid-publish can never leave a corrupt document for the query
+service to load.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import Any
 
 from .._io import atomic_write_text
 from ..api.base import Release, release_from_json
+from .artifact import ArtifactError, read_artifact, write_artifact
 
 __all__ = ["ReleaseStore", "StoreError"]
 
@@ -138,21 +144,77 @@ class ReleaseStore:
             # Artifact first, manifest second: a crash in between leaves an
             # unlisted (invisible) file, never a listed-but-missing one.
             atomic_write_text(self._releases_dir / f"{release_id}.json", document)
+            entry.update(self._put_binary(release, release_id))
             manifest = self._read_manifest()
             manifest["releases"][release_id] = entry
             self._write_manifest(manifest)
         return release_id
 
+    def _put_binary(self, release: Release, release_id: str) -> dict[str, Any]:
+        """Write the v2 binary artifact; return its manifest fields.
+
+        A kind without a binary codec (third-party Release subclasses)
+        degrades to JSON-only storage instead of failing the publish."""
+        bin_path = self._releases_dir / f"{release_id}.bin"
+        try:
+            n_bytes = write_artifact(release, bin_path)
+        except ArtifactError:
+            return {"artifact_format": "json-v1", "artifact_bytes": None}
+        return {
+            "artifact_format": "binary-v2",
+            "artifact_bytes": n_bytes,
+            "binary_path": f"releases/{release_id}.bin",
+        }
+
     def get(self, release_id: str) -> Release:
-        """Reload the stored release (validating the document on load)."""
+        """Reload the stored release, preferring the binary v2 artifact.
+
+        When ``releases/<id>.bin`` exists it is checksum-verified and its
+        arrays are memory-mapped straight into the flat query engines;
+        otherwise (pre-v2 stores) the v1 JSON envelope is parsed.  Both
+        paths answer bit-identical floats."""
         path = self._releases_dir / f"{release_id}.json"
+        bin_path = self._releases_dir / f"{release_id}.bin"
         with self._lock:
             if release_id not in self._read_manifest()["releases"]:
                 raise StoreError(
                     f"unknown release id {release_id!r}; "
                     f"stored ids: {', '.join(self.ids()) or '(none)'}"
                 )
+        if bin_path.exists():
+            return read_artifact(bin_path)
         return release_from_json(json.loads(path.read_text()))
+
+    def migrate(self) -> list[str]:
+        """Write missing v2 binary artifacts for pre-v2 entries.
+
+        Returns the ids that were upgraded.  Entries whose kind has no
+        binary codec are left JSON-only (and re-reported on every run);
+        already-migrated entries are skipped."""
+        upgraded: list[str] = []
+        with self._lock:
+            manifest = self._read_manifest()
+            for release_id, entry in manifest["releases"].items():
+                bin_path = self._releases_dir / f"{release_id}.bin"
+                if bin_path.exists():
+                    if "artifact_format" not in entry:
+                        entry.update(
+                            {
+                                "artifact_format": "binary-v2",
+                                "artifact_bytes": bin_path.stat().st_size,
+                                "binary_path": f"releases/{release_id}.bin",
+                            }
+                        )
+                        upgraded.append(release_id)
+                    continue
+                json_path = self._releases_dir / f"{release_id}.json"
+                release = release_from_json(json.loads(json_path.read_text()))
+                fields = self._put_binary(release, release_id)
+                entry.update(fields)
+                if fields.get("artifact_format") == "binary-v2":
+                    upgraded.append(release_id)
+            self._write_manifest(manifest)
+        return upgraded
 
     def manifest_entry(self, release_id: str) -> dict[str, Any]:
         """The manifest record of one stored release."""

@@ -86,6 +86,23 @@ class FlatHistogram:
         """Per-node box volumes."""
         return np.prod(self.highs - self.lows, axis=1)
 
+    @property
+    def height(self) -> int:
+        """Depth of the deepest node (root = 0), one CSR pass per level."""
+        frontier = np.zeros(1, dtype=np.intp)
+        height = 0
+        while True:
+            starts = self.child_offsets[frontier]
+            widths = self.child_offsets[frontier + 1] - starts
+            total = int(widths.sum())
+            if total == 0:
+                return height
+            shifts = np.repeat(np.cumsum(widths) - widths, widths)
+            frontier = self.child_index[
+                np.repeat(starts, widths) + np.arange(total) - shifts
+            ]
+            height += 1
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -173,6 +190,28 @@ class FlatHistogram:
                 )
         q_lows = np.array([q.low for q in queries])
         q_highs = np.array([q.high for q in queries])
+        return self.range_count_arrays(q_lows, q_highs)
+
+    def range_count_arrays(self, q_lows: np.ndarray, q_highs: np.ndarray) -> np.ndarray:
+        """Answer ``(n, d)`` low/high bound arrays directly.
+
+        The columnar entry point behind :meth:`range_count_many`: callers
+        that already hold packed bound matrices (the binary wire codec, the
+        bench harness) skip building per-query :class:`Box` objects.  The
+        traversal and answers are identical.
+        """
+        q_lows = np.ascontiguousarray(q_lows, dtype=float)
+        q_highs = np.ascontiguousarray(q_highs, dtype=float)
+        if q_lows.shape != q_highs.shape or q_lows.ndim != 2:
+            raise ValueError("query bounds must be matching (n, d) matrices")
+        n_queries = q_lows.shape[0]
+        if n_queries == 0:
+            return np.empty(0)
+        if q_lows.shape[1] != self.ndim:
+            raise ValueError(
+                f"queries have {q_lows.shape[1]} dims but the synopsis has "
+                f"{self.ndim}"
+            )
         counts = self.counts
         volumes = self.volumes
         leaf = self.is_leaf

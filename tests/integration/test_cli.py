@@ -143,6 +143,8 @@ class TestCommands:
             "federated_fit",
             "federated_fit_tcp",
             "service_cached_queries",
+            "artifact_cold_load",
+            "service_throughput",
             "gram_counting",
             "substring_counting",
             "substring_count_table",
@@ -410,6 +412,41 @@ class TestStoreCommand:
         release = load_release(out_file)
         assert release.method == "ug"
         assert release.epsilon_spent == 0.5
+
+    def test_ls_reports_artifact_format_and_bytes(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert self._put(store_dir, release_id="demo") == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "binary-v2" in out
+        from repro.serve import ReleaseStore
+
+        n_bytes = ReleaseStore(store_dir).manifest_entry("demo")["artifact_bytes"]
+        assert f"{n_bytes:,}" in out
+
+    def test_migrate_backfills_binary_artifacts(self, capsys, tmp_path):
+        import json as json_mod
+
+        store_dir = tmp_path / "store"
+        assert self._put(store_dir, release_id="demo") == 0
+        capsys.readouterr()
+        # Strip the store back to v1: no .bin, no manifest artifact fields.
+        (store_dir / "releases" / "demo.bin").unlink()
+        manifest_path = store_dir / "manifest.json"
+        manifest = json_mod.loads(manifest_path.read_text())
+        for entry in manifest["releases"].values():
+            for key in ("artifact_format", "artifact_bytes", "binary_path"):
+                entry.pop(key, None)
+        manifest_path.write_text(json_mod.dumps(manifest))
+
+        assert main(["store", "migrate", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert (store_dir / "releases" / "demo.bin").exists()
+
+        assert main(["store", "migrate", "--store", str(store_dir)]) == 0
+        assert "already" in capsys.readouterr().out
 
     def test_manifest_records_params(self, capsys, tmp_path):
         store_dir = tmp_path / "store"

@@ -213,6 +213,7 @@ class TestErrorPaths:
         # dropped connection.
         httpd, ids, _ = server
         (store.root / "releases" / f"{ids['spatial']}.json").write_text("garbage")
+        (store.root / "releases" / f"{ids['spatial']}.bin").write_bytes(b"garbage")
         status, body = _post(
             httpd, f"/releases/{ids['spatial']}/query", _box_batch(QUERY_BOXES)
         )
@@ -271,6 +272,205 @@ class TestErrorPaths:
         assert status == 400
         assert body["query_index"] == 0
         assert "string_frequency" in body["error"]
+
+
+class TestStatz:
+    def test_statz_reports_pid_and_counters(self, server):
+        import os
+
+        httpd, ids, _ = server
+        status, before = _get(httpd, "/statz")
+        assert status == 200
+        assert before["pid"] == os.getpid()
+        _post(httpd, f"/releases/{ids['spatial']}/query", _box_batch(QUERY_BOXES))
+        status, after = _get(httpd, "/statz")
+        assert status == 200
+        assert after["batches"] == before["batches"] + 1
+        assert after["queries"] == before["queries"] + len(QUERY_BOXES)
+
+
+def _post_binary(httpd, path, payload):
+    from repro.queries import BINARY_WIRE_CONTENT_TYPE
+
+    port = httpd.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=payload,
+        headers={"Content-Type": BINARY_WIRE_CONTENT_TYPE},
+    )
+    try:
+        with urllib.request.urlopen(request) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Content-Type"), exc.read()
+
+
+class TestBinaryWire:
+    def test_binary_batch_bit_identical_to_in_process_answer(self, server):
+        from repro.queries import (
+            BINARY_ANSWERS_CONTENT_TYPE,
+            Workload,
+            decode_binary_answers,
+            encode_binary_workload,
+        )
+
+        httpd, ids, releases = server
+        workload = Workload.ranges(QUERY_BOXES)
+        status, content_type, body = _post_binary(
+            httpd, f"/releases/{ids['spatial']}/query", encode_binary_workload(workload)
+        )
+        assert status == 200
+        assert content_type == BINARY_ANSWERS_CONTENT_TYPE
+        values, offsets = decode_binary_answers(body)
+        assert np.array_equal(values, releases["spatial"].answer(workload))
+        assert list(offsets) == list(range(len(QUERY_BOXES) + 1))
+
+    def test_binary_mixed_batch_offsets_cover_vector_queries(self, server):
+        from repro.queries import (
+            Marginal1D,
+            RangeCount,
+            Workload,
+            decode_binary_answers,
+            encode_binary_workload,
+        )
+
+        httpd, ids, releases = server
+        workload = Workload.of(
+            [RangeCount.of(QUERY_BOXES[0])]
+            + [Marginal1D.regular(axis=0, n_bins=4, low=0.0, high=1.0)]
+        )
+        status, _, body = _post_binary(
+            httpd, f"/releases/{ids['spatial']}/query", encode_binary_workload(workload)
+        )
+        assert status == 200
+        values, offsets = decode_binary_answers(body)
+        assert list(offsets) == [0, 1, 5]
+        assert np.array_equal(values, releases["spatial"].answer(workload))
+
+    def test_malformed_binary_payload_is_json_400(self, server):
+        httpd, ids, _ = server
+        status, content_type, body = _post_binary(
+            httpd, f"/releases/{ids['spatial']}/query", b"RPWB\x01\x00garbage"
+        )
+        assert status == 400
+        assert content_type == "application/json"
+        assert "truncated" in json.loads(body)["error"]
+
+    def test_binary_validation_failure_names_query_index(self, server):
+        import struct
+
+        httpd, ids, _ = server
+        # RangeCount construction rejects a degenerate extent up front, so
+        # build the wire bytes by hand: query 1 has low >= high on axis 0.
+        lows = np.array([[0.1, 0.1], [0.5, 0.5]], dtype="<f8")
+        highs = np.array([[0.4, 0.4], [0.2, 0.9]], dtype="<f8")
+        payload = (
+            b"RPWB"
+            + bytes([1, 0])
+            + struct.pack("<H", 1)
+            + struct.pack("<BBHI", 1, 0, 2, 2)
+            + lows.tobytes()
+            + highs.tobytes()
+        )
+        status, content_type, body = _post_binary(
+            httpd, f"/releases/{ids['spatial']}/query", payload
+        )
+        assert status == 400
+        assert content_type == "application/json"
+        parsed = json.loads(body)
+        assert parsed["query_index"] == 1
+        assert "degenerate" in parsed["error"]
+
+
+class TestKeepAlive:
+    def test_connection_reused_across_requests(self, server):
+        """HTTP/1.1 keep-alive: one TCP connection carries several requests
+        (satellite: correct Content-Length + persistent connections)."""
+        import http.client
+
+        httpd, ids, _ = server
+        port = httpd.server_address[1]
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert resp.read()  # drain so the connection is reusable
+            sock = conn.sock
+            assert sock is not None
+            body = json.dumps(_box_batch(QUERY_BOXES)).encode()
+            for _ in range(3):
+                conn.request(
+                    "POST",
+                    f"/releases/{ids['spatial']}/query",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                assert resp.status == 200
+                assert int(resp.headers["Content-Length"]) == len(resp.read())
+            assert conn.sock is sock  # never re-dialed
+        finally:
+            conn.close()
+
+    def test_error_responses_keep_connection_alive(self, server):
+        import http.client
+
+        httpd, ids, _ = server
+        port = httpd.server_address[1]
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request("GET", "/releases/nope")
+            resp = conn.getresponse()
+            assert resp.status == 404
+            resp.read()
+            sock = conn.sock
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            resp.read()
+            assert conn.sock is sock
+        finally:
+            conn.close()
+
+
+class TestListenSocket:
+    def test_server_accepts_on_inherited_socket(self, store, uniform_2d):
+        """The pre-fork path: a socket bound elsewhere is adopted as-is."""
+        import socket
+
+        spatial, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(spatial, release_id="inh")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        httpd = SynopsisHTTPServer(
+            listener.getsockname(),
+            store,
+            cache_size=2,
+            quiet=True,
+            listen_socket=listener,
+        )
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert httpd.server_address[1] == listener.getsockname()[1]
+            status, body = _post(
+                httpd, f"/releases/{release_id}/query", _box_batch(QUERY_BOXES)
+            )
+            assert status == 200
+            expected = spatial.query_many(QUERY_BOXES)
+            assert np.array_equal(np.array(body["answers"]), expected)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+
+    def test_serve_rejects_nonpositive_workers(self, store):
+        from repro.serve import serve
+
+        with pytest.raises(ValueError):
+            serve(store, "127.0.0.1", 0, workers=0)
 
 
 class TestConcurrency:

@@ -19,6 +19,8 @@ class TestCacheBehaviour:
             "misses": 1,
             "evictions": 0,
             "resident": 1,
+            "batches": 0,  # query_many is the in-process legacy surface;
+            "queries": 0,  # batch counters track the wire paths
         }
 
     def test_lru_eviction_and_reload(self, spatial_store):
@@ -53,6 +55,8 @@ class TestCacheBehaviour:
             "misses": 2,
             "evictions": 0,
             "resident": 0,
+            "batches": 0,
+            "queries": 0,
         }
 
     def test_negative_cache_size_rejected(self, store):
@@ -213,3 +217,50 @@ class TestDispatch:
         loaded = service.release(release_id)
         # The cached tree already carries its compiled flat engine.
         assert loaded.tree._flat is not None
+
+
+class TestBinaryBatch:
+    def test_binary_answers_bit_identical_and_counted(self, store, uniform_2d):
+        from repro.queries import (
+            Workload,
+            decode_binary_answers,
+            encode_binary_workload,
+        )
+
+        release, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        workload = Workload.ranges(QUERY_BOXES)
+        payload = service.answer_batch_binary(
+            release_id, encode_binary_workload(workload)
+        )
+        values, offsets = decode_binary_answers(payload)
+        assert np.array_equal(values, release.answer(workload))
+        assert offsets[-1] == len(values)
+        stats = service.stats()
+        assert stats["batches"] == 1
+        assert stats["queries"] == len(QUERY_BOXES)
+
+    def test_batch_counters_survive_concurrent_writers(self, store, uniform_2d):
+        """The satellite contract: counters never lose increments under
+        concurrent batches (plain `+=` on ints would)."""
+        import threading
+
+        release, _ = fit_release("privtree", uniform_2d, None)
+        release_id = store.put(release)
+        service = SynopsisService(store)
+        raw = [{"low": list(b.low), "high": list(b.high)} for b in QUERY_BOXES]
+        n_threads, n_batches = 8, 25
+
+        def worker():
+            for _ in range(n_batches):
+                service.answer_batch(release_id, raw)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        stats = service.stats()
+        assert stats["batches"] == n_threads * n_batches
+        assert stats["queries"] == n_threads * n_batches * len(QUERY_BOXES)
