@@ -3,7 +3,7 @@
 
 Usage::
 
-    python scripts/chaos_smoke.py [N_POINTS]
+    python scripts/chaos_smoke.py [N_POINTS] [--trace TRACE.jsonl]
 
 Runs three failure scenarios against *real* collector processes
 (``repro collector-serve`` subprocesses speaking the framed TCP protocol)
@@ -25,6 +25,12 @@ and fails loudly unless the fault-tolerance contract holds:
    committed entry per round — a double-spend here is a privacy bug.
 
 Exits non-zero on any deviation.
+
+With ``--trace PATH`` the whole run executes under an enabled tracer and
+the spans (federated rounds, per-collector calls, retries, accountant
+spends) are exported as JSON-lines on exit — even when a scenario fails —
+so CI can upload the trace as a workflow artifact.  Render it with
+``repro trace PATH --chrome OUT.json``.
 """
 
 from __future__ import annotations
@@ -104,8 +110,32 @@ def _reap(procs: list) -> None:
 
 
 def main(argv: list[str]) -> int:
-    n_points = int(argv[1]) if len(argv) > 1 else 3000
+    args = list(argv[1:])
+    trace_path = None
+    if "--trace" in args:
+        at = args.index("--trace")
+        if at + 1 >= len(args):
+            print("--trace requires an output path")
+            return 2
+        trace_path = args[at + 1]
+        del args[at : at + 2]
+    n_points = int(args[0]) if args else 3000
 
+    from repro import telemetry
+
+    tracer = telemetry.enable() if trace_path else None
+    try:
+        return _scenarios(n_points)
+    finally:
+        # Export whatever was traced even when a scenario fails, so CI
+        # can upload the trace artifact from the failing run too.
+        if tracer is not None:
+            telemetry.disable()
+            n_spans = tracer.export_jsonl(trace_path)
+            print(f"trace: wrote {n_spans} span(s) to {trace_path}")
+
+
+def _scenarios(n_points: int) -> int:
     from repro.datasets.spatial import gowallalike
     from repro.federated import (
         CollectorCrashError,

@@ -13,7 +13,10 @@ non-zero unless every answer returned over HTTP is bit-identical to
 calling ``release.query_many`` / ``release.answer`` on a local reload of
 the artifact.  A second phase restarts the server pre-forked with
 ``--workers 2`` and repeats the checks over the packed binary wire form
-(v2 mmap'd artifacts on the server side), including ``GET /statz``.
+(v2 mmap'd artifacts on the server side), then verifies the fleet-wide
+counters: ``GET /statz?aggregate=1`` and the ``GET /metrics`` Prometheus
+exposition must both report exactly the batches/queries this script
+sent, no matter which worker answers the scrape.
 """
 
 from __future__ import annotations
@@ -209,8 +212,8 @@ def main(argv: list[str]) -> int:
                     return 1
                 time.sleep(0.2)
 
-        worker_stats: dict[int, dict] = {}
-        for _ in range(8):
+        n_batches = 8
+        for _ in range(n_batches):
             request = urllib.request.Request(
                 f"http://127.0.0.1:{port}/releases/{release_id}/query",
                 data=payload,
@@ -231,21 +234,64 @@ def main(argv: list[str]) -> int:
                     f"query_many (max |delta| = {worst})"
                 )
                 return 1
-            # Counters are per worker process; sample whichever worker the
-            # kernel hands this request to and aggregate at the end.
-            with urllib.request.urlopen(
-                f"http://127.0.0.1:{port}/statz", timeout=5
-            ) as resp:
-                stats = json.loads(resp.read())
-            worker_stats[stats["pid"]] = stats
-        total_queries = sum(s["queries"] for s in worker_stats.values())
-        if total_queries < len(workload):
-            print(f"FAIL: /statz reports too few queries: {worker_stats}")
+
+        # Fleet-wide counters: one server-side aggregation over the
+        # per-pid metric slabs, instead of sampling /statz per worker and
+        # summing client-side (a bare /statz answers for whichever worker
+        # the kernel picked — scope "process").
+        sent_queries = n_batches * len(workload)
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/statz?aggregate=1", timeout=5
+        ) as resp:
+            stats = json.loads(resp.read())
+        if stats.get("scope") != "aggregate":
+            print(f"FAIL: /statz?aggregate=1 answered scope {stats.get('scope')!r}")
+            return 1
+        if stats["batches"] != n_batches or stats["queries"] != sent_queries:
+            print(
+                f"FAIL: aggregated /statz reports {stats['batches']} batches / "
+                f"{stats['queries']} queries; sent {n_batches} / {sent_queries}"
+            )
+            return 1
+
+        # The Prometheus exposition must agree with the aggregate, again
+        # regardless of which worker serves the scrape.
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=5
+        ) as resp:
+            metrics_text = resp.read().decode("utf-8")
+        exposed = {}
+        for line in metrics_text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, _, value = line.rpartition(" ")
+            exposed[name] = float(value)
+        if exposed.get("repro_serve_batches_total") != float(n_batches):
+            print(
+                "FAIL: /metrics repro_serve_batches_total = "
+                f"{exposed.get('repro_serve_batches_total')}; sent {n_batches}"
+            )
+            return 1
+        if exposed.get("repro_serve_queries_total") != float(sent_queries):
+            print(
+                "FAIL: /metrics repro_serve_queries_total = "
+                f"{exposed.get('repro_serve_queries_total')}; sent {sent_queries}"
+            )
+            return 1
+        if exposed.get("repro_serve_request_latency_seconds_count") != float(
+            n_batches
+        ):
+            print(
+                "FAIL: /metrics latency histogram count = "
+                f"{exposed.get('repro_serve_request_latency_seconds_count')}; "
+                f"sent {n_batches} batches"
+            )
             return 1
         print(
             f"OK: {n_queries} binary-wire answers bit-identical across "
-            f"{len(worker_stats)} worker process(es) "
-            f"(pids {sorted(worker_stats)}, {total_queries} queries counted)"
+            f"{len(stats['pids'])} worker process(es) (pids {stats['pids']}); "
+            f"/statz?aggregate=1 and /metrics both count {n_batches} batches "
+            f"/ {sent_queries} queries"
         )
         return 0
     finally:

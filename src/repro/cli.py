@@ -87,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="fit one registered method on one dataset")
     fit_args(run)
     run.add_argument("--out", default=None, help="write the release JSON here")
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace of the fit as JSON-lines here "
+        "(inspect/convert with `repro trace`)",
+    )
 
     sub.add_parser("methods", help="list the registered estimator methods")
 
@@ -201,6 +208,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue an interrupted fit from --checkpoint (bit-identical "
         "to an uninterrupted fit; the budget is restored, never re-spent)",
     )
+    fed.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="probe collector liveness between rounds at this interval "
+        "(0 probes every round); a stalled collector trips the per-round "
+        "deadline instead of hanging the next aggregation",
+    )
+    fed.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace of the fit as JSON-lines here "
+        "(per-round spans, collector timings, accountant spend events)",
+    )
 
     coll = sub.add_parser(
         "collector-serve",
@@ -304,6 +327,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATIO",
         help="with --compare: exit non-zero when any case slows down past "
         "RATIO times its baseline (CI gates at 1.5)",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="summarize or convert a telemetry trace (JSONL)"
+    )
+    trace_p.add_argument(
+        "trace_file", help="JSON-lines trace written by a --trace flag"
+    )
+    trace_p.add_argument(
+        "--chrome",
+        default=None,
+        metavar="OUT_JSON",
+        help="also write a Chrome trace_event file "
+        "(open in chrome://tracing or ui.perfetto.dev)",
     )
 
     sub.add_parser("svt", help="SVT privacy-loss counterexamples")
@@ -673,6 +710,7 @@ def _run_federated_fit(args: argparse.Namespace) -> str:
                     accountant=accountant,
                     checkpoint=checkpoint,
                     resume=args.resume,
+                    heartbeat_interval=args.heartbeat_interval,
                     **params,
                 )
             except TypeError as exc:
@@ -896,6 +934,17 @@ def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
         table, _ = compare_bench_results(results, baseline)
         lines.append(f"comparison vs {args.compare}:")
         lines.append(table)
+        baseline_cases = baseline.get("cases")
+        baseline_names = set(baseline_cases) if isinstance(baseline_cases, dict) else set()
+        missing = sorted(set(results["cases"]) - baseline_names)
+        if missing:
+            # A case added since the baseline was committed has nothing to
+            # compare against — warn instead of failing (and never KeyError).
+            lines.append(
+                f"WARNING: baseline {args.compare} has no entry for "
+                f"{', '.join(missing)}; comparison skipped for new case(s) — "
+                f"regenerate the baseline with `repro bench --out {args.compare}`"
+            )
         if args.fail_above is not None:
             failures = bench_regression_failures(results, baseline, args.fail_above)
             if failures:
@@ -911,6 +960,57 @@ def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
                     f"regression gate passed (no case above {args.fail_above:g}x)"
                 )
     return "\n".join(lines), code
+
+
+def _with_trace(args: argparse.Namespace, fn) -> str:
+    """Run a fit handler, recording a telemetry trace when --trace is set."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return fn(args)
+    from . import telemetry
+
+    tracer = telemetry.enable()
+    try:
+        result = fn(args)
+    finally:
+        telemetry.disable()
+    count = tracer.export_jsonl(trace_path)
+    return result + (
+        f"\ntrace    : {count} record(s) written to {trace_path} "
+        "(inspect with `repro trace`)"
+    )
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    from .telemetry import read_jsonl, summarize_records, to_chrome_trace
+
+    try:
+        records = read_jsonl(args.trace_file)
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        raise SystemExit(
+            f"cannot read trace {args.trace_file!r}: {exc}"
+        ) from None
+    lines = [f"trace: {len(records)} record(s) from {args.trace_file}"]
+    if records:
+        lines.append(
+            f"  {'name':32s} {'count':>7s} {'total ms':>10s} "
+            f"{'mean ms':>9s} {'cpu ms':>9s}"
+        )
+        for entry in summarize_records(records):
+            lines.append(
+                f"  {entry['name']:32s} {entry['count']:7d} "
+                f"{entry['wall_s'] * 1e3:10.2f} {entry['mean_ms']:9.3f} "
+                f"{entry['cpu_s'] * 1e3:9.2f}"
+            )
+    if args.chrome:
+        from ._io import atomic_write_text
+
+        atomic_write_text(args.chrome, json.dumps(to_chrome_trace(records)))
+        lines.append(
+            f"chrome trace written to {args.chrome} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+    return "\n".join(lines)
 
 
 def _run_svt() -> str:
@@ -952,7 +1052,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
-        print(_run_method(args))
+        print(_with_trace(args, _run_method))
     elif args.command == "methods":
         print(_run_methods())
     elif args.command == "query":
@@ -960,7 +1060,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "store":
         print(_run_store(args))
     elif args.command == "federated-fit":
-        print(_run_federated_fit(args))
+        print(_with_trace(args, _run_federated_fit))
     elif args.command == "collector-serve":
         return _run_collector_serve(args)
     elif args.command == "serve":
@@ -1008,6 +1108,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         text, code = _run_bench(args)
         print(text)
         return code
+    elif args.command == "trace":
+        print(_run_trace(args))
     elif args.command == "svt":
         print(_run_svt())
     elif args.command == "datasets":

@@ -32,6 +32,7 @@ from typing import TypeVar
 from ..domains.base import NodePayload
 from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import RngLike, ensure_rng
+from ..telemetry import span as _span
 from .node import DecompositionTree, TreeNode
 from .params import PrivTreeParams
 
@@ -85,34 +86,41 @@ def privtree(
     # SpatialNodeData.split_many); others fall back to node-by-node split().
     split_many = getattr(type(root_payload), "split_many", None)
     while level:
-        eligible: list[TreeNode[P]] = []
-        for node in level:
-            if not node.payload.can_split():
-                continue
-            if max_depth is not None and node.depth >= max_depth:
-                guard_hit = True
-                continue
-            eligible.append(node)
-        if not eligible:
-            break
-        noise = laplace_noise(params.lam, size=len(eligible), rng=gen)
-        to_split: list[TreeNode[P]] = []
-        for node, perturbation in zip(eligible, noise):
-            biased = max(floor, node.payload.score() - node.depth * params.delta)
-            if biased + perturbation > params.theta:
-                to_split.append(node)
-        if split_many is not None:
-            children_lists = split_many([node.payload for node in to_split])
-        else:
-            children_lists = [node.payload.split() for node in to_split]
-        next_level: list[TreeNode[P]] = []
-        for node, child_payloads in zip(to_split, children_lists):
-            node.children = [
-                TreeNode(payload=child, depth=node.depth + 1)
-                for child in child_payloads
-            ]
-            next_level.extend(node.children)
-        level = next_level
+        # Per-level span only (never per-node): frontier shape and split
+        # counts are safe to trace, raw points and scores are not.
+        with _span(
+            "privtree.level", depth=level[0].depth, frontier=len(level)
+        ) as level_span:
+            eligible: list[TreeNode[P]] = []
+            for node in level:
+                if not node.payload.can_split():
+                    continue
+                if max_depth is not None and node.depth >= max_depth:
+                    guard_hit = True
+                    continue
+                eligible.append(node)
+            if not eligible:
+                level_span.set(eligible=0, split=0)
+                break
+            noise = laplace_noise(params.lam, size=len(eligible), rng=gen)
+            to_split: list[TreeNode[P]] = []
+            for node, perturbation in zip(eligible, noise):
+                biased = max(floor, node.payload.score() - node.depth * params.delta)
+                if biased + perturbation > params.theta:
+                    to_split.append(node)
+            if split_many is not None:
+                children_lists = split_many([node.payload for node in to_split])
+            else:
+                children_lists = [node.payload.split() for node in to_split]
+            next_level: list[TreeNode[P]] = []
+            for node, child_payloads in zip(to_split, children_lists):
+                node.children = [
+                    TreeNode(payload=child, depth=node.depth + 1)
+                    for child in child_payloads
+                ]
+                next_level.extend(node.children)
+            level_span.set(eligible=len(eligible), split=len(to_split))
+            level = next_level
     if guard_hit:
         warnings.warn(
             f"PrivTree hit the max_depth={max_depth} guard; the decomposition "

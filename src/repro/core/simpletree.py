@@ -17,6 +17,7 @@ from typing import TypeVar
 from ..domains.base import NodePayload
 from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import RngLike, ensure_rng
+from ..telemetry import span as _span
 from .analysis import simpletree_scale
 from .node import DecompositionTree, TreeNode
 
@@ -55,31 +56,37 @@ def simpletree(
     level: list[TreeNode[P]] = [root]
     split_many = getattr(type(root_payload), "split_many", None)
     while level:
-        # One batched draw per level; numpy's sized laplace consumes the same
-        # stream as per-node scalar draws, so results are bit-identical.
-        noise = laplace_noise(lam, size=len(level), rng=gen)
-        to_split: list[TreeNode[P]] = []
-        for node, perturbation in zip(level, noise):
-            noisy = node.payload.score() + float(perturbation)
-            node.noisy_score = noisy
-            if (
-                noisy > theta
-                and node.depth < height - 1
-                and node.payload.can_split()
-            ):
-                to_split.append(node)
-        if split_many is not None:
-            children_lists = split_many([node.payload for node in to_split])
-        else:
-            children_lists = [node.payload.split() for node in to_split]
-        next_level: list[TreeNode[P]] = []
-        for node, child_payloads in zip(to_split, children_lists):
-            node.children = [
-                TreeNode(payload=child, depth=node.depth + 1)
-                for child in child_payloads
-            ]
-            next_level.extend(node.children)
-        level = next_level
+        # Per-level span only; attrs stay at frontier shape + split count.
+        with _span(
+            "simpletree.level", depth=level[0].depth, frontier=len(level)
+        ) as level_span:
+            # One batched draw per level; numpy's sized laplace consumes the
+            # same stream as per-node scalar draws, so results are
+            # bit-identical.
+            noise = laplace_noise(lam, size=len(level), rng=gen)
+            to_split: list[TreeNode[P]] = []
+            for node, perturbation in zip(level, noise):
+                noisy = node.payload.score() + float(perturbation)
+                node.noisy_score = noisy
+                if (
+                    noisy > theta
+                    and node.depth < height - 1
+                    and node.payload.can_split()
+                ):
+                    to_split.append(node)
+            if split_many is not None:
+                children_lists = split_many([node.payload for node in to_split])
+            else:
+                children_lists = [node.payload.split() for node in to_split]
+            next_level: list[TreeNode[P]] = []
+            for node, child_payloads in zip(to_split, children_lists):
+                node.children = [
+                    TreeNode(payload=child, depth=node.depth + 1)
+                    for child in child_payloads
+                ]
+                next_level.extend(node.children)
+            level_span.set(split=len(to_split))
+            level = next_level
     return DecompositionTree(root=root)
 
 

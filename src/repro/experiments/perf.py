@@ -783,6 +783,51 @@ def run_perf_bench(
     build_s, synopsis = _best_of(
         repeats, lambda: _privtree_histogram(data, epsilon=epsilon, rng=rng)
     )
+
+    # Telemetry overhead.  The disabled-mode claim ("span sites add at
+    # most a few percent to privtree_build") is asserted from first
+    # principles: the measured per-call cost of the no-op span path
+    # times the number of telemetry call sites one build actually hits,
+    # as a fraction of the build time.  That product is deterministic
+    # where an A/B wall-clock comparison of two identical builds is not
+    # (run-to-run jitter on a busy CI box dwarfs a 5% signal).  The
+    # enabled-mode build is timed too — recorded, never gated.
+    from .. import telemetry as _telemetry
+
+    disabled_s, _ = _best_of(
+        repeats, lambda: _privtree_histogram(data, epsilon=epsilon, rng=rng)
+    )
+    n_noop_calls = 200_000
+    noop_start = time.perf_counter()
+    for _ in range(n_noop_calls):
+        with _telemetry.span("bench.noop", depth=0, frontier=0):
+            pass
+    noop_span_s = (time.perf_counter() - noop_start) / n_noop_calls
+    tracer = _telemetry.enable()
+    try:
+        enabled_s, _ = _best_of(
+            repeats, lambda: _privtree_histogram(data, epsilon=epsilon, rng=rng)
+        )
+    finally:
+        _telemetry.disable()
+    spans_recorded = len(tracer.records)
+    if spans_recorded == 0:
+        raise AssertionError(
+            "telemetry-enabled privtree build recorded no spans"
+        )
+    # Every record the enabled build produced is one call site that the
+    # disabled build paid the no-op price for (events are cheaper than
+    # spans, so this over-counts — a conservative bound).
+    sites_per_build = spans_recorded / max(repeats, 1)
+    overhead_disabled = (noop_span_s * sites_per_build) / build_s
+    if overhead_disabled > 0.05:
+        raise AssertionError(
+            f"disabled telemetry costs {overhead_disabled * 100:.2f}% of a "
+            f"privtree build ({sites_per_build:.0f} no-op sites at "
+            f"{noop_span_s * 1e9:.0f}ns each over {build_s:.4f}s); the no-op "
+            "span path must stay within 5%"
+        )
+
     build_ref_s, reference = _best_of(
         repeats, lambda: reference_privtree_histogram(data, epsilon=epsilon, rng=rng)
     )
@@ -962,6 +1007,17 @@ def run_perf_bench(
             "service_cached_queries": service_case,
             "artifact_cold_load": artifact_case,
             "service_throughput": throughput_case,
+            "telemetry_overhead": {
+                "workload": "privtree build: tracing disabled vs enabled",
+                "optimized_s": disabled_s,
+                "build_s": build_s,
+                "noop_span_s": noop_span_s,
+                "sites_per_build": sites_per_build,
+                "overhead_disabled": overhead_disabled,
+                "enabled_s": enabled_s,
+                "overhead_enabled": enabled_s / disabled_s,
+                "spans_recorded": spans_recorded,
+            },
             **sequence["cases"],
         },
     }
@@ -970,6 +1026,28 @@ def run_perf_bench(
 #: A case regressing past this factor of its baseline is flagged by
 #: ``repro bench --compare``.
 REGRESSION_THRESHOLD = 1.2
+
+
+def _baseline_cases(baseline: dict) -> dict:
+    """The baseline's case table, or ``{}`` for malformed documents."""
+    cases = baseline.get("cases") if isinstance(baseline, dict) else None
+    return cases if isinstance(cases, dict) else {}
+
+
+def _baseline_seconds(base_cases: dict, name: str) -> float | None:
+    """``optimized_s`` for one baseline case, tolerating malformed entries.
+
+    Old or hand-edited baselines may hold a bare number (or garbage) where
+    a case dict is expected; anything that isn't a usable timing reads as
+    "case missing" so ``--compare`` warns instead of crashing.
+    """
+    entry = base_cases.get(name)
+    if not isinstance(entry, dict):
+        return None
+    value = entry.get("optimized_s")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
 
 
 def compare_bench_results(results: dict, baseline: dict) -> tuple[str, int]:
@@ -983,11 +1061,11 @@ def compare_bench_results(results: dict, baseline: dict) -> tuple[str, int]:
     lines = [
         f"{'case':22s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}",
     ]
-    base_cases = baseline.get("cases", {})
+    base_cases = _baseline_cases(baseline)
     n_regressions = 0
     for name, case in sorted(results.get("cases", {}).items()):
         current = case.get("optimized_s")
-        base = base_cases.get(name, {}).get("optimized_s")
+        base = _baseline_seconds(base_cases, name)
         if current is None or base is None or base <= 0:
             shown = "-" if current is None else f"{current * 1e3:9.1f}ms"
             lines.append(f"{name:22s} {'-':>10s} {shown}  (new case)")
@@ -1025,11 +1103,11 @@ def bench_regression_failures(
     """
     if threshold <= 0:
         raise ValueError(f"threshold must be positive, got {threshold}")
-    base_cases = baseline.get("cases", {})
+    base_cases = _baseline_cases(baseline)
     failures = []
     for name, case in sorted(results.get("cases", {}).items()):
         current = case.get("optimized_s")
-        base = base_cases.get(name, {}).get("optimized_s")
+        base = _baseline_seconds(base_cases, name)
         if current is None or base is None or base <= 0:
             continue
         ratio = current / base

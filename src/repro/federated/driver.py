@@ -23,6 +23,7 @@ left-to-right leaves.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -38,6 +39,7 @@ from ..mechanisms.laplace import laplace_noise
 from ..mechanisms.rng import RngLike, SeedLike, ensure_rng
 from ..spatial.dataset import SpatialDataset
 from ..spatial.histogram_tree import HistogramNode, HistogramTree
+from ..telemetry import get_registry, span as _span
 from .aggregator import SecureAggregator
 from .checkpoint import FitCheckpoint, restore_rng, rng_state
 from .collector import ROOT_NODE_ID, ShardCollector, child_node_id
@@ -50,6 +52,12 @@ __all__ = [
     "replay_splits",
     "shard_dataset",
 ]
+
+# Always-on beat counter; /metrics- and test-visible without a tracer.
+_HEARTBEATS = get_registry().counter(
+    "repro_federated_heartbeats_total",
+    help="Heartbeat probes the coordinator sent to collectors",
+)
 
 
 def shard_dataset(dataset: SpatialDataset, n_shards: int) -> list[SpatialDataset]:
@@ -117,6 +125,8 @@ class FederatedPrivTree:
             if collector.dims_per_split != first.dims_per_split:
                 raise ValueError("collectors disagree on dims_per_split")
         self.collectors = collectors
+        self.heartbeat_interval: float | None = None
+        self._last_heartbeat = float("-inf")
         self.aggregator = aggregator or SecureAggregator(len(collectors))
         if self.aggregator.n_shards != len(collectors):
             raise ValueError(
@@ -141,10 +151,51 @@ class FederatedPrivTree:
         self, node_ids: list[str], *, round_index: int | None = None
     ) -> np.ndarray:
         """One protocol round: exact global counts for ``node_ids``."""
-        shares = [c.blinded_counts(node_ids) for c in self.collectors]
-        return self.aggregator.aggregate(
-            shares, node_ids=node_ids, round_index=round_index
-        )
+        with _span(
+            "federated.round",
+            round=round_index,
+            kind="counts",
+            n_nodes=len(node_ids),
+        ):
+            shares = []
+            for i, collector in enumerate(self.collectors):
+                with _span(
+                    "federated.collector",
+                    shard_id=getattr(collector, "shard_id", i),
+                    round=round_index,
+                    op="blinded_counts",
+                ):
+                    shares.append(collector.blinded_counts(node_ids))
+            return self.aggregator.aggregate(
+                shares, node_ids=node_ids, round_index=round_index
+            )
+
+    def _maybe_heartbeat(self) -> None:
+        """Probe collector liveness between rounds.
+
+        Synchronous by design: a beat goes through the same retry engine
+        and per-round deadline as any other request, so a stalled
+        collector surfaces as the usual ``CollectorTimeoutError`` instead
+        of hanging the next aggregation round.  In-process collectors
+        have no transport and are skipped.
+        """
+        interval = self.heartbeat_interval
+        if interval is None or interval < 0:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < interval:
+            return
+        self._last_heartbeat = now
+        for i, collector in enumerate(self.collectors):
+            beat = getattr(collector, "heartbeat", None)
+            if beat is None:
+                continue
+            with _span(
+                "federated.heartbeat",
+                shard_id=getattr(collector, "shard_id", i),
+            ):
+                beat()
+            _HEARTBEATS.inc()
 
     def fit_histogram(
         self,
@@ -161,6 +212,7 @@ class FederatedPrivTree:
         checkpoint: FitCheckpoint | None = None,
         resume: bool = False,
         fault_injector: FaultInjector | None = None,
+        heartbeat_interval: float | None = None,
     ) -> HistogramTree:
         """The full §3.3–§3.4 pipeline over aggregated shard counts.
 
@@ -191,6 +243,13 @@ class FederatedPrivTree:
             ``coordinator_tick`` runs after each round's aggregation and
             *before* the commit — the widest crash window — so tests can
             simulate ``kill -9`` at any chosen round.
+        heartbeat_interval:
+            Seconds between liveness probes to transport-backed collectors
+            (``0`` probes before every round; ``None`` disables).  Beats
+            ride the normal retry engine, so a stalled collector trips the
+            per-round deadline as a ``CollectorTimeoutError`` rather than
+            stalling mid-aggregation.  Probes never touch the RNG stream,
+            so the release stays bit-identical with or without them.
         """
         if tuples_per_individual < 1:
             raise ValueError(
@@ -203,6 +262,8 @@ class FederatedPrivTree:
             )
         if not 0 < tree_fraction < 1:
             raise ValueError(f"tree_fraction must be in (0, 1), got {tree_fraction!r}")
+        self.heartbeat_interval = heartbeat_interval
+        self._last_heartbeat = float("-inf")
         config = {
             "epsilon": epsilon,
             "theta": theta,
@@ -332,6 +393,7 @@ class FederatedPrivTree:
                 eligible.append(node)
             if not eligible:
                 break
+            self._maybe_heartbeat()
             counts = self._aggregate_counts(
                 [node.node_id for node in eligible], round_index=next_round
             )
@@ -344,8 +406,20 @@ class FederatedPrivTree:
                 if biased + perturbation > params.theta:
                     to_split.append(node)
             to_split_ids = [node.node_id for node in to_split]
-            for collector in self.collectors:
-                collector.apply_splits(to_split_ids)
+            with _span(
+                "federated.round",
+                round=next_round + 1,
+                kind="splits",
+                n_nodes=len(to_split_ids),
+            ):
+                for i, collector in enumerate(self.collectors):
+                    with _span(
+                        "federated.collector",
+                        shard_id=getattr(collector, "shard_id", i),
+                        round=next_round + 1,
+                        op="apply_splits",
+                    ):
+                        collector.apply_splits(to_split_ids)
             next_level: list[_FrontierNode] = []
             for node in to_split:
                 dims = node.split_dims(dims_per_split)
@@ -389,6 +463,7 @@ class FederatedPrivTree:
         # one last aggregation round instead of local window sizes.
         nodes = _preorder(root)
         leaves = [node for node in nodes if not node.children]
+        self._maybe_heartbeat()
         exact = self._aggregate_counts(
             [leaf.node_id for leaf in leaves], round_index=next_round
         )

@@ -59,6 +59,7 @@ from .errors import (
     error_from_wire,
     error_type_name,
 )
+from ..telemetry import get_registry
 from .faults import FaultInjector
 from .transport import (
     DiffieHellman,
@@ -78,6 +79,24 @@ __all__ = [
     "connect_collectors",
     "loopback_collectors",
 ]
+
+# Always-on transport health counters; scraped via the default registry.
+_RETRIES = get_registry().counter(
+    "repro_federated_retries_total",
+    help="Request attempts beyond the first (any shard, any kind)",
+)
+_TIMEOUTS = get_registry().counter(
+    "repro_federated_timeouts_total",
+    help="Rounds aborted with CollectorTimeoutError",
+)
+_CRASHES = get_registry().counter(
+    "repro_federated_crashes_total",
+    help="Rounds aborted with CollectorCrashError",
+)
+_RECONNECTS = get_registry().counter(
+    "repro_federated_reconnects_total",
+    help="Coordinator re-dials after a broken collector connection",
+)
 
 #: How many committed rounds an endpoint keeps replayable.  A resumed
 #: coordinator only ever redoes its last uncommitted level (one counts
@@ -644,6 +663,8 @@ class ProtocolClient:
         for attempt in range(self.retry.attempts):
             if time.monotonic() >= deadline:
                 break
+            if attempt:
+                _RETRIES.inc()
             try:
                 if connection_dead:
                     self._reconnect(message)
@@ -676,6 +697,7 @@ class ProtocolClient:
         )
         label = f"shard {shard}" if shard is not None else "collector"
         if connection_dead:
+            _CRASHES.inc()
             raise CollectorCrashError(
                 f"{label} is unreachable for round {round_index!r} of "
                 f"{message['kind']!r} after {self.retry.attempts} attempt(s): "
@@ -683,6 +705,7 @@ class ProtocolClient:
                 shard_id=shard if isinstance(shard, int) else None,
                 round_index=round_index if isinstance(round_index, int) else None,
             ) from last_failure
+        _TIMEOUTS.inc()
         raise CollectorTimeoutError(
             f"{label} missed its deadline for round {round_index!r} of "
             f"{message['kind']!r} ({self.retry.attempts} attempt(s), "
@@ -695,6 +718,7 @@ class ProtocolClient:
     def _reconnect(self, pending: dict) -> None:
         """Re-dial and re-hello after a broken connection (not for hello
         itself, which *is* the handshake)."""
+        _RECONNECTS.inc()
         if pending.get("kind") == "hello":
             self.channel.connect()
             return

@@ -44,6 +44,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from ..telemetry import get_registry
 from .errors import FrameCorruptError, KeyExchangeError
 
 __all__ = [
@@ -67,6 +68,13 @@ FRAME_VERSION = 1
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _HEADER = struct.Struct(">II")
+
+#: Always-on corruption counter: every frame that fails CRC/JSON/envelope
+#: validation, on either side of the wire.
+_CORRUPT_FRAMES = get_registry().counter(
+    "repro_federated_corrupt_frames_total",
+    help="Frames rejected by checksum or envelope validation",
+)
 
 #: Frame kinds the protocol understands; receivers reject anything else.
 FRAME_KINDS = frozenset(
@@ -104,6 +112,14 @@ def encode_frame(message: dict) -> bytes:
 
 def decode_frame(body: bytes, expected_crc: int) -> dict:
     """Validate and parse one frame body (checksum, JSON, envelope)."""
+    try:
+        return _decode_frame(body, expected_crc)
+    except FrameCorruptError:
+        _CORRUPT_FRAMES.inc()
+        raise
+
+
+def _decode_frame(body: bytes, expected_crc: int) -> dict:
     if zlib.crc32(body) != expected_crc:
         raise FrameCorruptError(
             f"frame checksum mismatch over {len(body)} bytes; the frame was "

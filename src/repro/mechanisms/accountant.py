@@ -11,6 +11,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..telemetry import event as _event
+
 __all__ = ["BudgetExceededError", "PrivacyAccountant"]
 
 
@@ -73,6 +75,9 @@ class PrivacyAccountant:
                 f"{self.spent:.6g} of {self.total_epsilon:.6g} already used"
             )
         self._ledger.append((label, epsilon))
+        # Ledger entries are public mechanism outputs (labels + epsilon
+        # amounts), safe to mirror into a trace for reconciliation.
+        _event("accountant.spend", label=label, epsilon=epsilon)
         return epsilon
 
     def spend_fraction(self, fraction: float, label: str = "") -> float:
@@ -113,5 +118,8 @@ class PrivacyAccountant:
         try:
             yield self
         except BaseException:
+            rolled_back = len(self._ledger) - mark
             del self._ledger[mark:]
+            if rolled_back:
+                _event("accountant.rollback", n_entries=rolled_back)
             raise

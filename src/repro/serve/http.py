@@ -6,9 +6,19 @@ calls.  Endpoints::
 
     GET  /healthz                  liveness + store size
     GET  /statz                    service counters (hits, batches, queries)
+    GET  /statz?aggregate=1        counters summed across worker processes
+    GET  /metrics                  Prometheus text exposition (all workers)
     GET  /releases                 manifest entries of every stored release
     GET  /releases/{id}            one manifest entry
     POST /releases/{id}/query      {"queries": [...]} -> {"answers": [...]}
+
+Counter scope: the service behind each worker process keeps its *own*
+counters, so a bare ``GET /statz`` reports whichever worker the kernel
+handed the connection to (the payload carries that worker's ``pid`` and
+``"scope": "process"``).  Under ``--workers N`` every worker mirrors its
+registry into a mmap'd per-pid slab; ``/statz?aggregate=1`` and
+``/metrics`` read every slab and answer fleet-wide totals no matter
+which worker serves the scrape.
 
 A JSON batch is a list of typed query documents (``{"format":
 "repro.query", "version": 1, "type": "range_count", ...}`` — see
@@ -36,13 +46,17 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import signal
 import socket
+import tempfile
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from ..queries.binary import BINARY_ANSWERS_CONTENT_TYPE, BINARY_WIRE_CONTENT_TYPE
+from ..telemetry import aggregate_slabs, render_prometheus
 from .service import ArtifactLoadError, SynopsisService
 from .store import ReleaseStore, StoreError
 
@@ -85,6 +99,15 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         return tuple(part for part in path.split("/") if part)
 
+    def _query_params(self) -> dict[str, str]:
+        parts = self.path.split("?", 1)
+        if len(parts) < 2:
+            return {}
+        return {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parts[1]).items()
+        }
+
     @property
     def _service(self) -> SynopsisService:
         return self.server.service  # type: ignore[attr-defined]
@@ -104,7 +127,25 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
                 {"status": "ok", "releases": len(store), **self._service.stats()},
             )
         elif route == ("statz",):
-            self._send_json(200, {"pid": os.getpid(), **self._service.stats()})
+            if self._query_params().get("aggregate") in ("1", "true"):
+                self._send_json(200, self._aggregate_stats())
+            else:
+                # Per-process view: these counters belong to *this*
+                # worker only (scope marks that explicitly).
+                self._send_json(
+                    200,
+                    {
+                        "pid": os.getpid(),
+                        "scope": "process",
+                        **self._service.stats(),
+                    },
+                )
+        elif route == ("metrics",):
+            self._send_bytes(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self._render_metrics().encode("utf-8"),
+            )
         elif route == ("releases",):
             self._send_json(200, {"releases": store.entries()})
         elif len(route) == 2 and route[0] == "releases":
@@ -114,6 +155,45 @@ class SynopsisRequestHandler(BaseHTTPRequestHandler):
                 self._send_error_json(404, f"unknown release id {route[1]!r}")
         else:
             self._send_error_json(404, f"no such endpoint: {self.path!r}")
+
+    def _render_metrics(self) -> str:
+        """Prometheus exposition: all worker slabs, else this process."""
+        metrics_dir = getattr(self.server, "metrics_dir", None)
+        if metrics_dir:
+            merged = aggregate_slabs(metrics_dir)["metrics"]
+            if merged:
+                return render_prometheus(merged)
+        return self._service.metrics.render_text()
+
+    def _aggregate_stats(self) -> dict[str, Any]:
+        """The ``/statz?aggregate=1`` payload: fleet-wide counter sums."""
+        metrics_dir = getattr(self.server, "metrics_dir", None)
+        if metrics_dir:
+            aggregated = aggregate_slabs(metrics_dir)
+            merged = aggregated["metrics"]
+            if merged:
+
+                def _value(name: str) -> int:
+                    entry = merged.get(name)
+                    return int(entry["value"]) if entry else 0
+
+                return {
+                    "scope": "aggregate",
+                    "pids": aggregated["pids"],
+                    "hits": _value("repro_serve_cache_hits_total"),
+                    "misses": _value("repro_serve_cache_misses_total"),
+                    "evictions": _value("repro_serve_cache_evictions_total"),
+                    "resident": _value("repro_serve_cache_resident"),
+                    "batches": _value("repro_serve_batches_total"),
+                    "queries": _value("repro_serve_queries_total"),
+                }
+        # No slab directory (in-process server, tests): this process is
+        # the whole fleet.
+        return {
+            "scope": "aggregate",
+            "pids": [os.getpid()],
+            **self._service.stats(),
+        }
 
     def do_POST(self) -> None:  # noqa: N802
         # Error paths below bail without consuming the request body; the
@@ -218,6 +298,7 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         cache_size: int = 8,
         quiet: bool = False,
         listen_socket: socket.socket | None = None,
+        metrics_dir: str | None = None,
     ) -> None:
         if listen_socket is None:
             super().__init__(address, SynopsisRequestHandler)
@@ -230,6 +311,11 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
             self.server_name = self.server_address[0]
             self.server_port = self.server_address[1]
         self.service = SynopsisService(store, cache_size=cache_size)
+        self.metrics_dir = metrics_dir
+        if metrics_dir is not None:
+            # Mirror this process's service metrics into a per-pid slab so
+            # /metrics and /statz?aggregate=1 see the whole worker fleet.
+            self.service.metrics.bind_slab(metrics_dir)
         self.quiet = quiet
 
 
@@ -274,10 +360,16 @@ def _serve_single(
     cache_size: int,
     quiet: bool,
     listen_socket: socket.socket | None = None,
+    metrics_dir: str | None = None,
 ) -> None:
     """One process's serve loop: graceful signals, drain, close."""
     server = SynopsisHTTPServer(
-        address, store, cache_size=cache_size, quiet=quiet, listen_socket=listen_socket
+        address,
+        store,
+        cache_size=cache_size,
+        quiet=quiet,
+        listen_socket=listen_socket,
+        metrics_dir=metrics_dir,
     )
     previous = _install_graceful_stop(server)
     try:
@@ -298,6 +390,7 @@ def _serve_forked(
     workers: int,
     cache_size: int,
     quiet: bool,
+    metrics_dir: str | None = None,
 ) -> None:
     """Pre-fork ``workers`` processes accepting on one shared listener.
 
@@ -337,6 +430,7 @@ def _serve_forked(
                             cache_size=cache_size,
                             quiet=quiet,
                             listen_socket=listener,
+                            metrics_dir=metrics_dir,
                         )
                     except OSError:
                         if not reuse_port:
@@ -348,6 +442,7 @@ def _serve_forked(
                             cache_size=cache_size,
                             quiet=quiet,
                             listen_socket=_bind_listener(*address, reuse_port=True),
+                            metrics_dir=metrics_dir,
                         )
                 except BaseException:
                     code = 1
@@ -410,11 +505,30 @@ def serve(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers!r}")
-    if workers == 1:
-        _serve_single(store, (host, port), cache_size=cache_size, quiet=quiet)
-        return
-    if not hasattr(os, "fork"):
-        raise RuntimeError("--workers > 1 requires os.fork (POSIX)")
-    _serve_forked(
-        store, host, port, workers=workers, cache_size=cache_size, quiet=quiet
-    )
+    # One slab directory for the whole serve group: the parent creates it
+    # pre-fork so every worker can bind its per-pid slab inside, and any
+    # worker can answer /metrics or /statz?aggregate=1 for the fleet.
+    metrics_dir = tempfile.mkdtemp(prefix="repro-serve-metrics-")
+    try:
+        if workers == 1:
+            _serve_single(
+                store,
+                (host, port),
+                cache_size=cache_size,
+                quiet=quiet,
+                metrics_dir=metrics_dir,
+            )
+            return
+        if not hasattr(os, "fork"):
+            raise RuntimeError("--workers > 1 requires os.fork (POSIX)")
+        _serve_forked(
+            store,
+            host,
+            port,
+            workers=workers,
+            cache_size=cache_size,
+            quiet=quiet,
+            metrics_dir=metrics_dir,
+        )
+    finally:
+        shutil.rmtree(metrics_dir, ignore_errors=True)

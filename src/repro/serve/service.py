@@ -14,6 +14,7 @@ forms — so the wire semantics live in exactly one place.
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from typing import Any, Sequence
@@ -28,6 +29,8 @@ from ..queries.binary import (
     encode_binary_answers,
 )
 from ..queries.wire import decode_query_batch
+from ..telemetry import MetricsRegistry
+from ..telemetry.metrics import DEFAULT_LATENCY_BOUNDS, DEFAULT_SIZE_BOUNDS
 from .store import ReleaseStore, StoreError
 
 __all__ = ["ArtifactLoadError", "SynopsisService", "parse_queries"]
@@ -98,12 +101,50 @@ class SynopsisService:
         self.evictions = 0
         self.batches = 0
         self.queries = 0
+        #: Per-instance telemetry registry mirroring the counters above
+        #: plus latency/size histograms.  A forked worker binds it to a
+        #: per-pid slab (``metrics.bind_slab``) so the parent — or any
+        #: scraper — can aggregate across the worker fleet.
+        self.metrics = MetricsRegistry()
+        self._m_hits = self.metrics.counter(
+            "repro_serve_cache_hits_total", help="Release cache hits"
+        )
+        self._m_misses = self.metrics.counter(
+            "repro_serve_cache_misses_total", help="Release cache misses (loads)"
+        )
+        self._m_evictions = self.metrics.counter(
+            "repro_serve_cache_evictions_total", help="LRU evictions"
+        )
+        self._m_batches = self.metrics.counter(
+            "repro_serve_batches_total", help="Answered query batches"
+        )
+        self._m_queries = self.metrics.counter(
+            "repro_serve_queries_total", help="Answered queries"
+        )
+        self._m_resident = self.metrics.gauge(
+            "repro_serve_cache_resident", help="Releases resident in cache"
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_serve_request_latency_seconds",
+            bounds=DEFAULT_LATENCY_BOUNDS,
+            help="Wall time answering one batch (decode to encode)",
+        )
+        self._m_batch_size = self.metrics.histogram(
+            "repro_serve_batch_size",
+            bounds=DEFAULT_SIZE_BOUNDS,
+            help="Queries per answered batch",
+        )
 
-    def _count_batch(self, n_queries: int) -> None:
+    def _count_batch(self, n_queries: int, seconds: float | None = None) -> None:
         """Record one answered batch (thread-safe)."""
         with self._lock:
             self.batches += 1
             self.queries += n_queries
+        self._m_batches.inc()
+        self._m_queries.inc(n_queries)
+        self._m_batch_size.observe(n_queries)
+        if seconds is not None:
+            self._m_latency.observe(seconds)
 
     def _cached(self, release_id: str) -> Release | None:
         """Cache lookup counting a hit and refreshing recency.
@@ -113,6 +154,7 @@ class SynopsisService:
         if cached is not None:
             self._cache.move_to_end(release_id)
             self.hits += 1
+            self._m_hits.inc()
         return cached
 
     def release(self, release_id: str) -> Release:
@@ -130,6 +172,7 @@ class SynopsisService:
                 if cached is not None:
                     return cached
                 self.misses += 1
+                self._m_misses.inc()
             try:
                 release = self.store.get(release_id)
                 release.warm()  # compile the flat engines before first query
@@ -150,6 +193,8 @@ class SynopsisService:
                     while len(self._cache) > self.cache_size:
                         self._cache.popitem(last=False)
                         self.evictions += 1
+                        self._m_evictions.inc()
+                    self._m_resident.set(len(self._cache))
                 return release
 
     def query_many(self, release_id: str, queries: Sequence[Any]) -> np.ndarray:
@@ -171,13 +216,14 @@ class SynopsisService:
         cache access per batch; nothing on this path touches the manifest
         on disk.
         """
+        started = time.perf_counter()
         release = self.release(release_id)
         workload = decode_query_batch(
             raw_queries, spatial=isinstance(release, SpatialRelease)
         )
         flat = release.answer(workload)
         answers = workload.group_answers(flat, release.query_domain)
-        self._count_batch(len(answers))
+        self._count_batch(len(answers), seconds=time.perf_counter() - started)
         return {
             "id": release_id,
             "method": release.method,
@@ -196,6 +242,7 @@ class SynopsisService:
         answer through the same ``release.answer`` dispatch as JSON, so
         binary answers are the identical float64 values either way.
         """
+        started = time.perf_counter()
         release = self.release(release_id)
         batch = decode_binary_workload(payload)
         if isinstance(batch, PackedRangeCounts):
@@ -217,7 +264,9 @@ class SynopsisService:
             offsets = np.concatenate(
                 ([0], np.cumsum(sizes, dtype=np.int64))
             ).astype(np.uint32)
-        self._count_batch(int(offsets.shape[0]) - 1)
+        self._count_batch(
+            int(offsets.shape[0]) - 1, seconds=time.perf_counter() - started
+        )
         return encode_binary_answers(values, offsets)
 
     def cached_ids(self) -> list[str]:

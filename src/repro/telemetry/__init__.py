@@ -1,0 +1,70 @@
+"""repro.telemetry — zero-dependency tracing, metrics, and profiling.
+
+Three pillars:
+
+* :mod:`repro.telemetry.trace` — nestable ``span()`` context managers and
+  point-in-time ``event()`` records with wall/CPU timings, exportable as
+  JSON-lines and as Chrome ``trace_event`` files (``repro trace``).
+* :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
+  histograms in a :class:`MetricsRegistry`, cheap enough to be always on
+  and renderable in the Prometheus text exposition format.
+* :mod:`repro.telemetry.slab` — a mmap'd per-worker slab so metrics from
+  forked serve workers can be aggregated by any process that can read
+  the slab directory.
+
+Tracing is off by default: the module-level :func:`span` and
+:func:`event` helpers are no-ops until :func:`enable` installs a
+:class:`Tracer`, so instrumented hot paths cost a dict build and a
+``None`` check per call site.
+
+Privacy contract: instrumentation must never record raw data points or
+unblinded counts.  Span/event attributes are limited to *shapes* (node
+counts, query counts, depths, round indices), timings, and privacy-ledger
+entries (epsilon amounts and labels) that are already public outputs of
+the mechanism.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from .slab import aggregate_slabs, read_slabs
+from .trace import (
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    disable,
+    enable,
+    event,
+    read_jsonl,
+    span,
+    summarize_records,
+    to_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "aggregate_slabs",
+    "current_tracer",
+    "disable",
+    "enable",
+    "event",
+    "get_registry",
+    "read_jsonl",
+    "read_slabs",
+    "render_prometheus",
+    "span",
+    "summarize_records",
+    "to_chrome_trace",
+    "write_jsonl",
+]

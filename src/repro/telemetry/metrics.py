@@ -1,0 +1,367 @@
+"""Metrics: counters, gauges, fixed-bucket histograms, text exposition.
+
+A :class:`MetricsRegistry` hands out get-or-create metric instances.
+Every mutation is a couple of float ops under a per-metric lock, cheap
+enough to leave on unconditionally.  A registry can be bound to a
+mmap'd per-worker slab (:mod:`repro.telemetry.slab`) so forked serve
+workers expose their values to the parent — or any scraper — without a
+cross-process call.
+
+The snapshot structure shared by in-process registries and slab
+aggregation::
+
+    {name: {"type": "counter", "value": 3.0}
+     | {"type": "gauge", "value": 7.0}
+     | {"type": "histogram", "bounds": [...], "counts": [...],
+        "sum": 1.5, "count": 12}}
+
+``render_prometheus`` turns any such snapshot into the Prometheus text
+exposition format served on ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_SIZE_BOUNDS",
+    "get_registry",
+    "render_prometheus",
+]
+
+# Seconds; tuned for sub-ms cache hits up to multi-second cold loads.
+DEFAULT_LATENCY_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+# Batch sizes / queue depths: powers of four up to ~64k.
+DEFAULT_SIZE_BOUNDS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+
+class _Metric:
+    """Base: name, lock, optional slab binding (offset into a mmap)."""
+
+    __slots__ = ("name", "help", "_lock", "_slab", "_offset")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._slab = None  # SlabWriter, set by MetricsRegistry.bind_slab
+        self._offset = 0
+
+    def _bind(self, slab: Any, offset: int) -> None:
+        with self._lock:
+            self._slab = slab
+            self._offset = offset
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing float counter."""
+
+    __slots__ = ("_value",)
+    n_slots = 1
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+            if self._slab is not None:
+                self._slab.write(self._offset, self._value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _flush_locked(self) -> None:
+        if self._slab is not None:
+            self._slab.write(self._offset, self._value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge(_Metric):
+    """Point-in-time float value (cache size, frontier width, ...)."""
+
+    __slots__ = ("_value",)
+    n_slots = 1
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            if self._slab is not None:
+                self._slab.write(self._offset, self._value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            if self._slab is not None:
+                self._slab.write(self._offset, self._value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _flush_locked(self) -> None:
+        if self._slab is not None:
+            self._slab.write(self._offset, self._value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with cumulative-on-render semantics.
+
+    ``bounds`` are inclusive upper bounds; an implicit +Inf bucket
+    catches the tail.  Internally buckets are stored *non*-cumulative
+    (one increment per observe) so per-worker slabs can be summed
+    slot-wise; the exposition renders them cumulatively as Prometheus
+    expects.
+
+    Slab layout per histogram: ``[count, sum, bucket_0..bucket_n]``
+    (n = len(bounds) + 1 including +Inf).
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS,
+        help: str = "",
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name} bounds must be strictly increasing")
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bound")
+        self.bounds = bounds
+        self._counts = [0.0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0.0
+
+    @property
+    def n_slots(self) -> int:
+        return 2 + len(self.bounds) + 1
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = _bucket_index(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1.0
+            self._sum += value
+            self._count += 1.0
+            if self._slab is not None:
+                self._slab.write(self._offset, self._count)
+                self._slab.write(self._offset + 1, self._sum)
+                self._slab.write(self._offset + 2 + index, self._counts[index])
+
+    def _flush_locked(self) -> None:
+        if self._slab is not None:
+            self._slab.write(self._offset, self._count)
+            self._slab.write(self._offset + 1, self._sum)
+            for i, count in enumerate(self._counts):
+                self._slab.write(self._offset + 2 + i, count)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+def _bucket_index(bounds: Sequence[float], value: float) -> int:
+    # Linear scan: bucket lists are short and this avoids bisect edge
+    # cases around the inclusive upper bound.
+    for i, bound in enumerate(bounds):
+        if value <= bound:
+            return i
+    return len(bounds)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics; snapshot + exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+        self._slab = None
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS,
+        help: str = "",
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, bounds=bounds, help=help)
+                self._register_locked(metric)
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def _get_or_create(self, name: str, cls: type, help: str = "") -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help=help)
+                self._register_locked(metric)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def _register_locked(self, metric: _Metric) -> None:
+        self._metrics[metric.name] = metric
+        if self._slab is not None:
+            # Late registration after bind: extend the slab in place.
+            offset = self._slab.extend(metric)
+            metric._bind(self._slab, offset)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: m.snapshot() for m in sorted(metrics, key=lambda m: m.name)}
+
+    def render_text(self) -> str:
+        return render_prometheus(self.snapshot())
+
+    def bind_slab(self, directory: str, pid: int | None = None) -> None:
+        """Mirror every metric (current and future) into a per-worker
+        mmap'd slab under ``directory``; see :mod:`repro.telemetry.slab`."""
+        from .slab import SlabWriter
+
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+            writer = SlabWriter(directory, metrics, pid=pid)
+            self._slab = writer
+        for metric, offset in zip(metrics, writer.offsets):
+            metric._bind(writer, offset)
+
+
+def render_prometheus(snapshot: dict[str, dict[str, Any]]) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry["type"]
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name} {_fmt(entry['value'])}")
+        elif kind == "histogram":
+            cumulative = 0.0
+            bounds = list(entry["bounds"]) + [math.inf]
+            for bound, count in zip(bounds, entry["counts"]):
+                cumulative += count
+                label = "+Inf" if math.isinf(bound) else _fmt(bound)
+                lines.append(f'{name}_bucket{{le="{label}"}} {_fmt(cumulative)}')
+            lines.append(f"{name}_sum {_fmt(entry['sum'])}")
+            lines.append(f"{name}_count {_fmt(entry['count'])}")
+        else:  # pragma: no cover - future-proofing
+            raise ValueError(f"unknown metric type {kind!r} for {name}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def merge_snapshots(
+    snapshots: Iterable[dict[str, dict[str, Any]]],
+) -> dict[str, dict[str, Any]]:
+    """Sum per-worker snapshots by metric name.
+
+    Counters and histograms add; gauges add too (documented — a summed
+    gauge like cache size is the fleet-wide total).  Histograms with
+    mismatched bounds raise, since slot-wise addition would be wrong.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            have = merged.get(name)
+            if have is None:
+                merged[name] = {
+                    key: (list(value) if isinstance(value, list) else value)
+                    for key, value in entry.items()
+                }
+                continue
+            if have["type"] != entry["type"]:
+                raise ValueError(f"metric {name!r} type mismatch across workers")
+            if entry["type"] in ("counter", "gauge"):
+                have["value"] += entry["value"]
+            else:
+                if list(have["bounds"]) != list(entry["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ across workers"
+                    )
+                have["counts"] = [
+                    a + b for a, b in zip(have["counts"], entry["counts"])
+                ]
+                have["sum"] += entry["sum"]
+                have["count"] += entry["count"]
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Default process-wide registry for library-level counters (federated
+# transport retries, heartbeats, ...).  Services that need isolation
+# (e.g. SynopsisService) construct their own registry instead.
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _default_registry

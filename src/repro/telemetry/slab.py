@@ -1,0 +1,171 @@
+"""Per-worker mmap'd metric slabs for cross-process aggregation.
+
+Each forked serve worker binds its :class:`~repro.telemetry.metrics.MetricsRegistry`
+to a slab directory.  The worker owns two files keyed by its pid:
+
+* ``slab-<pid>.schema.json`` — slot layout (metric name, type, offset,
+  histogram bounds), written atomically at bind time and on late
+  metric registration.
+* ``slab-<pid>.dat`` — raw little-endian float64 slots, mmap'd
+  ``MAP_SHARED`` so every metric update is immediately visible to any
+  process that reads the file.
+
+Because each pid writes only its own pair of files there are no
+cross-process write races; a scraper (the parent's ``/metrics``
+handler, or the smoke script) reads every schema in the directory and
+sums the slots by metric name.  Reads are lock-free and may observe a
+histogram mid-update (count bumped, sum not yet) — fine for
+monitoring, never used for correctness.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import mmap
+import os
+import struct
+import threading
+from typing import Any, Sequence
+
+__all__ = ["SlabWriter", "aggregate_slabs", "read_slabs"]
+
+_SLOT = struct.Struct("<d")
+
+
+class SlabWriter:
+    """Owns this process's slab files and serves slot writes."""
+
+    def __init__(self, directory: str, metrics: Sequence[Any], pid: int | None = None) -> None:
+        self.directory = directory
+        self.pid = os.getpid() if pid is None else pid
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._slots: list[dict[str, Any]] = []
+        self.offsets: list[int] = []
+        offset = 0
+        for metric in metrics:
+            self.offsets.append(offset)
+            self._slots.append(_slot_entry(metric, offset))
+            offset += metric.n_slots
+        self.total_slots = offset
+        self._data_path = os.path.join(directory, f"slab-{self.pid}.dat")
+        self._schema_path = os.path.join(directory, f"slab-{self.pid}.schema.json")
+        self._open_data(self.total_slots)
+        self._write_schema()
+
+    def _open_data(self, total_slots: int) -> None:
+        size = max(total_slots, 1) * _SLOT.size
+        with open(self._data_path, "wb") as handle:
+            handle.truncate(size)
+        self._file = open(self._data_path, "r+b")
+        self._mmap = mmap.mmap(self._file.fileno(), size)
+
+    def _write_schema(self) -> None:
+        schema = {
+            "pid": self.pid,
+            "total_slots": self.total_slots,
+            "slots": self._slots,
+        }
+        tmp = self._schema_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(schema, handle)
+        os.replace(tmp, self._schema_path)
+
+    def write(self, slot: int, value: float) -> None:
+        with self._lock:
+            _SLOT.pack_into(self._mmap, slot * _SLOT.size, value)
+
+    def extend(self, metric: Any) -> int:
+        """Append slots for a metric registered after bind; returns its offset."""
+        with self._lock:
+            offset = self.total_slots
+            self._slots.append(_slot_entry(metric, offset))
+            self.total_slots += metric.n_slots
+            new_size = self.total_slots * _SLOT.size
+            self._mmap.close()
+            self._file.truncate(new_size)
+            self._mmap = mmap.mmap(self._file.fileno(), new_size)
+        self._write_schema()
+        return offset
+
+    def close(self) -> None:
+        with self._lock:
+            self._mmap.close()
+            self._file.close()
+
+
+def _slot_entry(metric: Any, offset: int) -> dict[str, Any]:
+    entry = {
+        "name": metric.name,
+        "type": type(metric).__name__.lower(),
+        "offset": offset,
+    }
+    bounds = getattr(metric, "bounds", None)
+    if bounds is not None:
+        entry["bounds"] = list(bounds)
+    return entry
+
+
+def read_slabs(directory: str) -> list[dict[str, Any]]:
+    """Read every per-pid slab in ``directory``.
+
+    Returns ``[{"pid": int, "metrics": snapshot}, ...]`` where the
+    snapshot uses the same structure as
+    :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`.  Slabs
+    whose schema or data file is unreadable (a worker mid-startup or
+    just torn down) are skipped.
+    """
+    results: list[dict[str, Any]] = []
+    for schema_path in sorted(glob.glob(os.path.join(directory, "slab-*.schema.json"))):
+        try:
+            with open(schema_path, "r", encoding="utf-8") as handle:
+                schema = json.load(handle)
+            data_path = schema_path.replace(".schema.json", ".dat")
+            with open(data_path, "rb") as handle:
+                raw = handle.read()
+        except (OSError, json.JSONDecodeError):
+            continue
+        needed = schema.get("total_slots", 0) * _SLOT.size
+        if len(raw) < needed:
+            # Worker is mid-extend; take what is consistent and move on.
+            continue
+        snapshot: dict[str, dict[str, Any]] = {}
+        for slot in schema.get("slots", []):
+            offset = slot["offset"]
+            kind = slot["type"]
+            if kind in ("counter", "gauge"):
+                snapshot[slot["name"]] = {
+                    "type": kind,
+                    "value": _SLOT.unpack_from(raw, offset * _SLOT.size)[0],
+                }
+            elif kind == "histogram":
+                bounds = slot.get("bounds", [])
+                n_buckets = len(bounds) + 1
+                count = _SLOT.unpack_from(raw, offset * _SLOT.size)[0]
+                total = _SLOT.unpack_from(raw, (offset + 1) * _SLOT.size)[0]
+                counts = [
+                    _SLOT.unpack_from(raw, (offset + 2 + i) * _SLOT.size)[0]
+                    for i in range(n_buckets)
+                ]
+                snapshot[slot["name"]] = {
+                    "type": "histogram",
+                    "bounds": bounds,
+                    "counts": counts,
+                    "sum": total,
+                    "count": count,
+                }
+        results.append({"pid": schema.get("pid"), "metrics": snapshot})
+    return results
+
+
+def aggregate_slabs(directory: str) -> dict[str, Any]:
+    """Sum every worker slab in ``directory`` by metric name.
+
+    Returns ``{"pids": [...], "metrics": merged_snapshot}``.
+    """
+    from .metrics import merge_snapshots
+
+    slabs = read_slabs(directory)
+    merged = merge_snapshots(slab["metrics"] for slab in slabs)
+    return {"pids": sorted(s["pid"] for s in slabs), "metrics": merged}

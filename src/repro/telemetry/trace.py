@@ -1,0 +1,334 @@
+"""Tracing: nestable spans with wall/CPU time, JSONL and Chrome export.
+
+A :class:`Tracer` collects :class:`SpanRecord` entries in memory.  The
+module-level :func:`span` / :func:`event` helpers dispatch to the
+globally installed tracer, or do nothing when tracing is disabled —
+instrumented call sites stay in place at a cost of one attribute load
+and a ``None`` check.
+
+Span records carry wall-clock duration (``perf_counter``), CPU time
+consumed by the calling thread (``thread_time``), the process/thread
+ids, and a parent span id maintained per thread, so nested spans form a
+tree that survives the flat JSONL export.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "current_tracer",
+    "disable",
+    "enable",
+    "event",
+    "read_jsonl",
+    "span",
+    "summarize_records",
+    "to_chrome_trace",
+    "write_jsonl",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span or point event, ready for export."""
+
+    name: str
+    start_s: float  # epoch seconds (time.time) at entry
+    wall_s: float  # duration; 0.0 for point events
+    cpu_s: float  # thread CPU time consumed inside the span
+    pid: int
+    tid: int
+    span_id: int
+    parent_id: int | None
+    kind: str = "span"  # "span" | "event"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        record = {
+            "kind": self.kind,
+            "name": self.name,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "pid": self.pid,
+            "tid": self.tid,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_wire(cls, record: dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=record["name"],
+            start_s=record["start_s"],
+            wall_s=record.get("wall_s", 0.0),
+            cpu_s=record.get("cpu_s", 0.0),
+            pid=record.get("pid", 0),
+            tid=record.get("tid", 0),
+            span_id=record.get("span_id", 0),
+            parent_id=record.get("parent_id"),
+            kind=record.get("kind", "span"),
+            attrs=record.get("attrs", {}) or {},
+        )
+
+
+class _NoopSpan:
+    """Singleton context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Live span handle; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "_start_epoch",
+        "_start_wall",
+        "_start_cpu",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, Any],
+        span_id: int,
+        parent_id: int | None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self.span_id)
+        self._start_epoch = time.time()
+        self._start_wall = time.perf_counter()
+        self._start_cpu = time.thread_time()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        wall = time.perf_counter() - self._start_wall
+        cpu = time.thread_time() - self._start_cpu
+        self._tracer._pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                start_s=self._start_epoch,
+                wall_s=wall,
+                cpu_s=cpu,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                kind="span",
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """Collects span/event records in memory; thread-safe."""
+
+    def __init__(self) -> None:
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._stack = threading.local()
+
+    # -- per-thread parent stack ---------------------------------------
+    def _push(self, span_id: int) -> None:
+        stack = getattr(self._stack, "ids", None)
+        if stack is None:
+            stack = self._stack.ids = []
+        stack.append(span_id)
+
+    def _pop(self) -> None:
+        stack = getattr(self._stack, "ids", None)
+        if stack:
+            stack.pop()
+
+    def _parent(self) -> int | None:
+        stack = getattr(self._stack, "ids", None)
+        return stack[-1] if stack else None
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _Span:
+        return _Span(self, name, attrs, next(self._ids), self._parent())
+
+    def event(self, name: str, **attrs: Any) -> SpanRecord:
+        record = SpanRecord(
+            name=name,
+            start_s=time.time(),
+            wall_s=0.0,
+            cpu_s=0.0,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            span_id=next(self._ids),
+            parent_id=self._parent(),
+            kind="event",
+            attrs=attrs,
+        )
+        self._record(record)
+        return record
+
+    @property
+    def records(self) -> list[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def export_jsonl(self, path: str | os.PathLike) -> int:
+        """Write collected records as JSON-lines; returns the count."""
+        return write_jsonl(self.records, path)
+
+
+# ----------------------------------------------------------------------
+# Global tracer: None means tracing is disabled (the fast path).
+# ----------------------------------------------------------------------
+_tracer: Tracer | None = None
+
+
+def enable(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) globally and return it."""
+    global _tracer
+    _tracer = tracer if tracer is not None else Tracer()
+    return _tracer
+
+
+def disable() -> None:
+    """Remove the global tracer; span()/event() become no-ops again."""
+    global _tracer
+    _tracer = None
+
+
+def current_tracer() -> Tracer | None:
+    return _tracer
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global tracer, or a shared no-op when disabled."""
+    tracer = _tracer
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> SpanRecord | None:
+    """Record a point event on the global tracer; no-op when disabled."""
+    tracer = _tracer
+    if tracer is None:
+        return None
+    return tracer.event(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Export / import helpers
+# ----------------------------------------------------------------------
+def write_jsonl(records: Iterable[SpanRecord], path: str | os.PathLike) -> int:
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_wire(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | os.PathLike) -> list[SpanRecord]:
+    records: list[SpanRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_wire(json.loads(line)))
+    return records
+
+
+def to_chrome_trace(records: Iterable[SpanRecord]) -> dict[str, Any]:
+    """Convert records to the Chrome ``trace_event`` JSON format.
+
+    Spans become ``"X"`` (complete) events with microsecond timestamps;
+    point events become ``"i"`` (instant) events.  Load the result at
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: list[dict[str, Any]] = []
+    for record in records:
+        args = dict(record.attrs)
+        args["cpu_ms"] = round(record.cpu_s * 1e3, 6)
+        entry: dict[str, Any] = {
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ts": record.start_s * 1e6,
+            "pid": record.pid,
+            "tid": record.tid,
+            "args": args,
+        }
+        if record.kind == "event":
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        else:
+            entry["ph"] = "X"
+            entry["dur"] = record.wall_s * 1e6
+        events.append(entry)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def summarize_records(records: Iterable[SpanRecord]) -> list[dict[str, Any]]:
+    """Aggregate records by name: count, total/mean wall, total CPU."""
+    totals: dict[str, dict[str, Any]] = {}
+    for record in records:
+        entry = totals.setdefault(
+            record.name,
+            {"name": record.name, "kind": record.kind, "count": 0,
+             "wall_s": 0.0, "cpu_s": 0.0},
+        )
+        entry["count"] += 1
+        entry["wall_s"] += record.wall_s
+        entry["cpu_s"] += record.cpu_s
+    for entry in totals.values():
+        entry["mean_ms"] = (entry["wall_s"] / entry["count"]) * 1e3
+    return sorted(totals.values(), key=lambda e: -e["wall_s"])

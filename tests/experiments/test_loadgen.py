@@ -113,3 +113,105 @@ class TestRunLoad:
                 queries_per_batch=1,
                 clients=0,
             )
+
+    def test_rejects_nonpositive_batches(self, running_server):
+        port, release_id, _ = running_server
+        with pytest.raises(ValueError, match="batches_per_client"):
+            run_load(
+                "127.0.0.1",
+                port,
+                release_id,
+                b"{}",
+                content_type="application/json",
+                queries_per_batch=1,
+                batches_per_client=0,
+            )
+
+    def test_error_names_the_status_and_body(self, running_server):
+        port, _, _ = running_server
+        with pytest.raises(LoadError) as excinfo:
+            run_load(
+                "127.0.0.1",
+                port,
+                "no-such-release",
+                json.dumps({"queries": []}).encode(),
+                content_type="application/json",
+                queries_per_batch=0,
+                clients=1,
+                batches_per_client=1,
+                timeout_s=10.0,
+            )
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, LoadError)
+        assert "404" in str(cause)
+        assert "no-such-release" in str(cause)
+
+
+class TestRunLoadTransportFailures:
+    def test_connection_refused_raises_load_error(self):
+        import socket
+
+        # Bind-and-close to find a port with nothing listening on it.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(LoadError, match="client\\(s\\) failed") as excinfo:
+            run_load(
+                "127.0.0.1",
+                dead_port,
+                "any",
+                b"{}",
+                content_type="application/json",
+                queries_per_batch=1,
+                clients=2,
+                batches_per_client=1,
+                timeout_s=5.0,
+            )
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_truncated_response_body_raises_load_error(self):
+        import socket
+
+        # A one-shot stub server that advertises a 512-byte binary body,
+        # sends 10 bytes, and hangs up: the client's drain must surface
+        # the truncation as a LoadError, never report a throughput.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def one_truncated_response():
+            conn, _ = listener.accept()
+            conn.recv(65536)  # the request; content is irrelevant
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/octet-stream\r\n"
+                b"Content-Length: 512\r\n"
+                b"\r\n" + b"\x00" * 10
+            )
+            conn.close()
+
+        server = threading.Thread(target=one_truncated_response, daemon=True)
+        server.start()
+        try:
+            with pytest.raises(LoadError) as excinfo:
+                run_load(
+                    "127.0.0.1",
+                    port,
+                    "truncated",
+                    b"\x00" * 4,
+                    content_type="application/octet-stream",
+                    queries_per_batch=1,
+                    clients=1,
+                    batches_per_client=2,
+                    timeout_s=5.0,
+                )
+        finally:
+            server.join(timeout=5)
+            listener.close()
+        import http.client
+
+        assert isinstance(
+            excinfo.value.__cause__, (http.client.IncompleteRead, OSError)
+        )

@@ -24,6 +24,7 @@ class TestParser:
             "figure7",
             "table4",
             "bench",
+            "trace",
             "svt",
             "datasets",
         }
@@ -145,6 +146,7 @@ class TestCommands:
             "service_cached_queries",
             "artifact_cold_load",
             "service_throughput",
+            "telemetry_overhead",
             "gram_counting",
             "substring_counting",
             "substring_count_table",
@@ -160,6 +162,12 @@ class TestCommands:
         assert results["cases"]["workload_answering"]["n_answers"] > 0
         assert results["cases"]["service_cached_queries"]["queries_per_s"] > 0
         assert results["cases"]["service_cached_queries"]["cache_hit"] is True
+        telemetry_case = results["cases"]["telemetry_overhead"]
+        assert telemetry_case["spans_recorded"] > 0
+        # The acceptance bound: disabled telemetry (no-op span sites)
+        # costs at most 5% of a privtree build.
+        assert 0 < telemetry_case["overhead_disabled"] <= 0.05
+        assert telemetry_case["enabled_s"] > 0
         assert results["config"]["n_points"] == 3000
         assert results["config"]["sequence"]["n_sequences"] == 1500
 
@@ -541,6 +549,75 @@ class TestBenchGate:
         assert code == 1
         out = capsys.readouterr().out
         assert "FAIL" in out
+
+
+class TestTraceCommand:
+    """`--trace` on the fit commands plus the `repro trace` inspector."""
+
+    def test_run_trace_then_summarize_and_convert(self, capsys, tmp_path):
+        import json
+
+        from repro import telemetry
+
+        trace_file = tmp_path / "run_trace.jsonl"
+        code = main(
+            [
+                "run",
+                "--method", "privtree",
+                "--dataset", "gowalla",
+                "--n", "2000",
+                "--trace", str(trace_file),
+            ]
+        )
+        assert code == 0
+        assert f"record(s) written to {trace_file}" in capsys.readouterr().out
+        # The CLI must uninstall its tracer on the way out.
+        assert telemetry.current_tracer() is None
+
+        records = telemetry.read_jsonl(trace_file)
+        names = {r.name for r in records}
+        assert "privtree.level" in names
+        assert "accountant.spend" in names
+
+        code = main(["trace", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"{len(records)} record(s)" in out
+        assert "privtree.level" in out
+
+        chrome_file = tmp_path / "trace_chrome.json"
+        code = main(["trace", str(trace_file), "--chrome", str(chrome_file)])
+        assert code == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        chrome = json.loads(chrome_file.read_text())
+        assert len(chrome["traceEvents"]) == len(records)
+
+    def test_federated_fit_trace_with_heartbeat_interval(self, capsys, tmp_path):
+        from repro import telemetry
+
+        trace_file = tmp_path / "fed_trace.jsonl"
+        code = main(
+            [
+                "federated-fit",
+                "--shards", "2",
+                "--dataset", "gowalla",
+                "--n", "2000",
+                "--epsilon", "0.5",
+                "--seed", "0",
+                "--trace", str(trace_file),
+                "--heartbeat-interval", "0",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        names = {r.name for r in telemetry.read_jsonl(trace_file)}
+        assert "federated.round" in names
+        assert "federated.collector" in names
+        assert "accountant.spend" in names
+
+    def test_trace_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["trace", str(tmp_path / "nope.jsonl")])
 
 
 class TestFederatedFitCommand:

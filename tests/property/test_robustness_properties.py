@@ -150,8 +150,11 @@ class TestTransactionalAccountant:
         before = accountant.ledger
         with pytest.raises(RuntimeError, match="boom"):
             with accountant.transaction():
+                # Scale fractions so even max_size draws of the max value
+                # stay inside the budget; the abort must come from "boom",
+                # never from an overdraw.
                 for i, fraction in enumerate(fractions):
-                    accountant.spend_fraction(fraction * 0.5, f"round {i}")
+                    accountant.spend_fraction(fraction * 0.1, f"round {i}")
                 raise RuntimeError("boom")
         assert accountant.ledger == before
         assert accountant.spent == pytest.approx(budget * 0.05)

@@ -282,11 +282,105 @@ class TestStatz:
         status, before = _get(httpd, "/statz")
         assert status == 200
         assert before["pid"] == os.getpid()
+        # Documented semantics: a bare /statz is one process's view.
+        assert before["scope"] == "process"
         _post(httpd, f"/releases/{ids['spatial']}/query", _box_batch(QUERY_BOXES))
         status, after = _get(httpd, "/statz")
         assert status == 200
         assert after["batches"] == before["batches"] + 1
         assert after["queries"] == before["queries"] + len(QUERY_BOXES)
+
+    def test_statz_aggregate_without_slabs_falls_back_to_this_process(
+        self, server
+    ):
+        import os
+
+        httpd, ids, _ = server
+        _post(httpd, f"/releases/{ids['spatial']}/query", _box_batch(QUERY_BOXES))
+        status, body = _get(httpd, "/statz?aggregate=1")
+        assert status == 200
+        assert body["scope"] == "aggregate"
+        assert body["pids"] == [os.getpid()]
+        assert body["batches"] >= 1
+        assert body["queries"] >= len(QUERY_BOXES)
+
+
+@pytest.fixture
+def slab_server(store, uniform_2d, tmp_path):
+    """A server mirroring its metrics into a slab directory, alongside a
+    fake second worker's slab — the single-process stand-in for the
+    pre-forked fleet (each worker owns its per-pid slab files)."""
+    from repro.telemetry import MetricsRegistry
+
+    spatial, _ = fit_release("privtree", uniform_2d, None)
+    release_id = store.put(spatial, release_id="tree", dataset="uniform2d")
+    metrics_dir = tmp_path / "metrics"
+    httpd = SynopsisHTTPServer(
+        ("127.0.0.1", 0), store, cache_size=4, quiet=True,
+        metrics_dir=str(metrics_dir),
+    )
+    other = MetricsRegistry()
+    other.counter("repro_serve_batches_total").inc(7)
+    other.counter("repro_serve_queries_total").inc(70)
+    other.counter("repro_serve_cache_hits_total").inc(3)
+    other.bind_slab(str(metrics_dir), pid=999999)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd, release_id
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+def _get_text(httpd, path):
+    port = httpd.server_address[1]
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposition_aggregates_all_slabs(self, slab_server):
+        httpd, release_id = slab_server
+        for _ in range(2):
+            _post(httpd, f"/releases/{release_id}/query", _box_batch(QUERY_BOXES))
+        status, content_type, text = _get_text(httpd, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_serve_batches_total counter" in text
+        # 2 batches served here + 7 from the fake worker's slab.
+        assert "repro_serve_batches_total 9" in text
+        assert (
+            f"repro_serve_queries_total {2 * len(QUERY_BOXES) + 70}" in text
+        )
+        assert "repro_serve_request_latency_seconds_count 2" in text
+        assert 'repro_serve_request_latency_seconds_bucket{le="+Inf"} 2' in text
+
+    def test_statz_aggregate_sums_all_slabs(self, slab_server):
+        import os
+
+        httpd, release_id = slab_server
+        _post(httpd, f"/releases/{release_id}/query", _box_batch(QUERY_BOXES))
+        status, body = _get(httpd, "/statz?aggregate=1")
+        assert status == 200
+        assert body["scope"] == "aggregate"
+        assert body["pids"] == sorted([os.getpid(), 999999])
+        assert body["batches"] == 1 + 7
+        assert body["queries"] == len(QUERY_BOXES) + 70
+        assert body["hits"] >= 3
+        # The bare view still answers per-process alongside.
+        status, bare = _get(httpd, "/statz")
+        assert bare["scope"] == "process"
+        assert bare["batches"] == 1
+
+    def test_metrics_without_slab_dir_serves_this_process(self, server):
+        httpd, ids, _ = server
+        _post(httpd, f"/releases/{ids['spatial']}/query", _box_batch(QUERY_BOXES))
+        status, content_type, text = _get_text(httpd, "/metrics")
+        assert status == 200
+        assert "repro_serve_batches_total 1" in text
+        assert f"repro_serve_queries_total {len(QUERY_BOXES)}" in text
 
 
 def _post_binary(httpd, path, payload):

@@ -1,0 +1,15 @@
+"""Telemetry tests share one invariant: the global tracer is off between
+tests.  Instrumented call sites all over the library dispatch to it, so a
+leaked tracer from one test would silently collect spans in every later
+test (and perturb the disabled-overhead numbers)."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled_between_tests():
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,255 @@
+"""The metrics pillar: registry semantics, exposition, per-pid slabs."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    aggregate_slabs,
+    get_registry,
+    read_slabs,
+    render_prometheus,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    DEFAULT_SIZE_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_is_refused(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_observe_fills_buckets_sum_count(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # Inclusive upper bounds: 1.0 lands in the first bucket.
+        assert snap["counts"] == [2.0, 1.0, 1.0]
+        assert snap["count"] == 4.0
+        assert snap["sum"] == pytest.approx(106.5)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one bound"):
+            Histogram("h", bounds=())
+
+    def test_default_bounds_are_valid(self):
+        Histogram("lat", bounds=DEFAULT_LATENCY_BOUNDS)
+        Histogram("size", bounds=DEFAULT_SIZE_BOUNDS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.histogram("x")
+
+    def test_snapshot_and_names_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.gauge("a").set(2)
+        assert registry.names() == ["a", "b_total"]
+        snap = registry.snapshot()
+        assert list(snap) == ["a", "b_total"]
+        assert snap["a"] == {"type": "gauge", "value": 2.0}
+        assert snap["b_total"] == {"type": "counter", "value": 1.0}
+
+    def test_default_registry_is_a_process_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total").inc(3)
+        registry.gauge("resident").set(1.5)
+        text = registry.render_text()
+        assert "# TYPE reqs_total counter" in text
+        assert "reqs_total 3" in text  # integral floats render as ints
+        assert "resident 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.render_text()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 5.55" in text
+        assert "lat_count 3" in text
+
+
+class TestMergeSnapshots:
+    def test_counters_histograms_and_gauges_sum(self):
+        def make(n):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(n)
+            registry.gauge("g").set(n)
+            registry.histogram("h", bounds=(1.0,)).observe(n)
+            return registry.snapshot()
+
+        merged = merge_snapshots([make(1), make(2)])
+        assert merged["c"]["value"] == 3.0
+        assert merged["g"]["value"] == 3.0  # gauges sum: fleet-wide total
+        assert merged["h"]["count"] == 2.0
+        assert merged["h"]["sum"] == 3.0
+        assert merged["h"]["counts"] == [1.0, 1.0]
+
+    def test_merge_does_not_mutate_inputs(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        merge_snapshots([snap, snap])
+        assert snap["h"]["counts"] == [1.0, 0.0]
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(ValueError, match="type mismatch"):
+            merge_snapshots(
+                [
+                    {"m": {"type": "counter", "value": 1.0}},
+                    {"m": {"type": "gauge", "value": 1.0}},
+                ]
+            )
+
+    def test_bounds_mismatch_raises(self):
+        a = {"h": {"type": "histogram", "bounds": [1.0], "counts": [0.0, 0.0],
+                   "sum": 0.0, "count": 0.0}}
+        b = {"h": {"type": "histogram", "bounds": [2.0], "counts": [0.0, 0.0],
+                   "sum": 0.0, "count": 0.0}}
+        with pytest.raises(ValueError, match="bounds differ"):
+            merge_snapshots([a, b])
+
+
+class TestSlabs:
+    def _worker_registry(self, directory, pid, *, n_requests):
+        """Simulate one worker: its own registry bound to a fake pid."""
+        registry = MetricsRegistry()
+        requests = registry.counter("reqs_total")
+        resident = registry.gauge("resident")
+        latency = registry.histogram("lat", bounds=(0.1, 1.0))
+        registry.bind_slab(str(directory), pid=pid)
+        for i in range(n_requests):
+            requests.inc()
+            latency.observe(0.05 * (i + 1))
+        resident.set(n_requests)
+        return registry
+
+    def test_slab_files_use_the_pid_key(self, tmp_path):
+        self._worker_registry(tmp_path, 111, n_requests=1)
+        assert (tmp_path / "slab-111.schema.json").exists()
+        assert (tmp_path / "slab-111.dat").exists()
+
+    def test_read_slabs_round_trips_the_snapshot(self, tmp_path):
+        registry = self._worker_registry(tmp_path, 222, n_requests=3)
+        (slab,) = read_slabs(str(tmp_path))
+        assert slab["pid"] == 222
+        assert slab["metrics"] == registry.snapshot()
+
+    def test_aggregate_slabs_sums_across_pids(self, tmp_path):
+        self._worker_registry(tmp_path, 1, n_requests=2)
+        self._worker_registry(tmp_path, 2, n_requests=5)
+        merged = aggregate_slabs(str(tmp_path))
+        assert merged["pids"] == [1, 2]
+        assert merged["metrics"]["reqs_total"]["value"] == 7.0
+        assert merged["metrics"]["resident"]["value"] == 7.0
+        assert merged["metrics"]["lat"]["count"] == 7.0
+
+    def test_values_recorded_before_bind_are_flushed(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("early_total").inc(4)
+        registry.bind_slab(str(tmp_path), pid=5)
+        (slab,) = read_slabs(str(tmp_path))
+        assert slab["metrics"]["early_total"]["value"] == 4.0
+
+    def test_late_registration_extends_the_slab(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("first_total").inc()
+        registry.bind_slab(str(tmp_path), pid=9)
+        late = registry.histogram("late", bounds=(1.0, 2.0))
+        late.observe(1.5)
+        registry.counter("also_late_total").inc(2)
+        (slab,) = read_slabs(str(tmp_path))
+        assert slab["metrics"]["first_total"]["value"] == 1.0
+        assert slab["metrics"]["late"]["count"] == 1.0
+        assert slab["metrics"]["late"]["counts"] == [0.0, 1.0, 0.0]
+        assert slab["metrics"]["also_late_total"]["value"] == 2.0
+
+    def test_unreadable_slabs_are_skipped(self, tmp_path):
+        self._worker_registry(tmp_path, 1, n_requests=1)
+        # A worker mid-startup: schema present, data file truncated short.
+        schema = {
+            "pid": 2,
+            "total_slots": 4,
+            "slots": [{"name": "x", "type": "counter", "offset": 0}],
+        }
+        (tmp_path / "slab-2.schema.json").write_text(json.dumps(schema))
+        (tmp_path / "slab-2.dat").write_bytes(b"\x00" * 8)  # 1 of 4 slots
+        (tmp_path / "slab-3.schema.json").write_text("{not json")
+        merged = aggregate_slabs(str(tmp_path))
+        assert merged["pids"] == [1]
+
+    def test_empty_directory_aggregates_to_nothing(self, tmp_path):
+        merged = aggregate_slabs(str(tmp_path))
+        assert merged == {"pids": [], "metrics": {}}
+
+    def test_real_pid_is_the_default_key(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.bind_slab(str(tmp_path))
+        (slab,) = read_slabs(str(tmp_path))
+        assert slab["pid"] == os.getpid()
+
+
+class TestFormatHelpers:
+    def test_render_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            render_prometheus({"m": {"type": "mystery", "value": 1.0}})
+
+    def test_inf_bound_label(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(math.pi,)).observe(1.0)
+        text = registry.render_text()
+        assert f'le="{math.pi!r}"' in text
